@@ -1,0 +1,38 @@
+# dctraffic build and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures day paper-day clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate every figure's data series into ./figures (laptop scale, 2 h).
+figures:
+	$(GO) run ./cmd/dcanalyze -racks 8 -servers 10 -duration 2h -tsv figures
+
+# The EXPERIMENTS.md reference run: laptop-scale cluster, 24 simulated hours.
+day:
+	$(GO) run ./cmd/dcanalyze -racks 8 -servers 10 -duration 24h -tsv figures-day
+
+# Paper-scale (1500 servers, 24 h): minutes of wall clock, a few GB of RAM.
+paper-day:
+	$(GO) run ./cmd/dcanalyze -paper -tsv figures-paper
+
+clean:
+	rm -rf figures figures-day figures-paper trace.jsonl

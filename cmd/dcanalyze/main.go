@@ -1,0 +1,140 @@
+// Command dcanalyze runs the full analysis pipeline and prints the
+// regenerated data for every figure of the paper.
+//
+// By default it simulates a fresh run (congestion and application-impact
+// analyses need link counters and application logs, which live only in a
+// live run):
+//
+//	dcanalyze -racks 8 -servers 10 -duration 2h
+//
+// With -trace it analyzes a dcsim-written record file instead, producing
+// the record-only figures (2, 3, 4, 9, 10, 11):
+//
+//	dcanalyze -trace trace.jsonl -racks 8 -servers 10 -duration 2h
+//
+// -heat additionally prints the Figure 2 ASCII heat map.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dctraffic"
+	"dctraffic/internal/flows"
+	"dctraffic/internal/tm"
+	"dctraffic/internal/topology"
+)
+
+func main() {
+	racks := flag.Int("racks", 8, "number of racks")
+	servers := flag.Int("servers", 10, "servers per rack")
+	duration := flag.Duration("duration", 2*time.Hour, "instrumented window")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	traceFile := flag.String("trace", "", "analyze this dcsim trace instead of simulating")
+	heat := flag.Bool("heat", false, "print the Figure 2 ASCII heat map")
+	tsvDir := flag.String("tsv", "", "also write every figure's data series as TSV files into this directory")
+	paper := flag.Bool("paper", false, "use the paper-scale configuration (75 racks x 20 servers, 24h)")
+	jsonOut := flag.Bool("json", false, "print the machine-readable headline digest instead of the text report")
+	flag.Parse()
+
+	if *traceFile != "" {
+		analyzeTrace(*traceFile, *racks, *servers, *duration, *heat)
+		return
+	}
+
+	cfg := dctraffic.SmallRun()
+	if *paper {
+		cfg = dctraffic.PaperRun()
+	} else {
+		cfg.Topology.Racks = *racks
+		cfg.Topology.ServersPerRack = *servers
+		cfg.Duration = *duration
+		cfg.Sched.JobsPerHour = 150 * float64(*racks**servers) / 80
+	}
+	cfg.Seed = *seed
+	cfg.Sched.Seed = *seed
+	rr, err := dctraffic.Simulate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+		os.Exit(1)
+	}
+	rep := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
+	if *jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if *tsvDir != "" {
+		if err := rep.WriteTSV(*tsvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figure data written to %s\n", *tsvDir)
+	}
+	if *heat {
+		fmt.Println("\n== Fig 2 heat map (loge bytes, rows=src, cols=dst) ==")
+		fmt.Print(dctraffic.HeatASCII(rep.Fig2.TM, 60))
+	}
+}
+
+// analyzeTrace covers the figures computable from flow records alone.
+func analyzeTrace(path string, racks, servers int, duration time.Duration, heat bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	records, err := dctraffic.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+		os.Exit(1)
+	}
+	cfg := topology.SmallConfig()
+	cfg.Racks = racks
+	cfg.ServersPerRack = servers
+	top, err := topology.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("records: %d over %v\n\n", len(records), duration)
+
+	mid := duration / 2
+	m := tm.ServerMatrix(records, top.NumHosts(), mid, mid+100*time.Second)
+	ps := tm.SummarizePatterns(m, top)
+	fmt.Printf("== Fig 2 patterns (100s mid-run window) ==\n")
+	fmt.Printf("  within-rack share: %.2f  within-VLAN: %.2f  external: %.3f  scatter rows: %d\n",
+		ps.WithinRackFraction, ps.WithinVLANFraction, ps.ExternalFraction, ps.ScatterGatherRows)
+	es := tm.ComputeEntryStats(m, top)
+	fmt.Printf("== Fig 3 ==\n  P(zero|rack)=%.3f  P(zero|cross)=%.4f\n", es.PZeroWithinRack, es.PZeroAcrossRack)
+	cs := tm.ComputeCorrespondents(m, top)
+	fmt.Printf("== Fig 4 ==\n  median correspondents: %.1f within, %.1f across\n",
+		cs.MedianWithinCount, cs.MedianAcrossCount)
+	s := flows.Summarize(records, duration)
+	fmt.Printf("== Fig 9 ==\n  flows=%d  P(<10s)=%.3f  P(>200s)=%.4f  bytes≤25s=%.2f\n",
+		s.NumFlows, s.FracShorterThan10s, s.FracLongerThan200s, s.BytesInFlowsUnder25s)
+	series := tm.ServerSeries(records, top.NumHosts(), 10*time.Second, duration)
+	ch := tm.ChangeSeries(series, 1)
+	var nz []float64
+	for _, c := range ch {
+		if c != 0 {
+			nz = append(nz, c)
+		}
+	}
+	fmt.Printf("== Fig 10 ==\n  change samples=%d\n", len(nz))
+	gaps := flows.ServerInterArrivals(records, top)
+	fmt.Printf("== Fig 11 ==\n  arrival rate=%.0f/s  server mode=%.1f ms\n",
+		flows.ArrivalRatePerSec(records, duration), flows.ModeSpacing(gaps, 2, 100, 196))
+	if heat {
+		fmt.Println("\n== Fig 2 heat map ==")
+		fmt.Print(dctraffic.HeatASCII(m, 60))
+	}
+}

@@ -1,0 +1,111 @@
+// Package dctraffic reproduces "The Nature of Datacenter Traffic:
+// Measurements & Analysis" (Kandula, Sengupta, Greenberg, Patel, Chaiken —
+// IMC 2009) as a runnable system: a cluster simulator whose Cosmos/Scope-
+// style workload generates the paper's traffic, the socket-level
+// instrumentation methodology of §2, the complete analysis suite of §4
+// (traffic matrices, flow statistics, congestion, application impact),
+// the tomography study of §5, and the reusable empirical traffic model of
+// §4.1.
+//
+// Quick start:
+//
+//	rr, err := dctraffic.Simulate(dctraffic.SmallRun())
+//	if err != nil { ... }
+//	report := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
+//	fmt.Println(report.Text())
+//
+// The Report contains one field per figure in the paper; EXPERIMENTS.md
+// records paper-vs-measured values. For standalone synthetic traffic
+// generation (no cluster simulation), use PaperModel / FitModel.
+package dctraffic
+
+import (
+	"io"
+
+	"dctraffic/internal/core"
+	"dctraffic/internal/model"
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/tm"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+// Core pipeline types, re-exported for direct use.
+type (
+	// RunConfig assembles a simulation (topology, store, workload,
+	// instrumentation, duration).
+	RunConfig = core.RunConfig
+	// RunResult carries the simulated cluster and its collected logs.
+	RunResult = core.RunResult
+	// AnalyzeOptions tunes the per-figure analyses.
+	AnalyzeOptions = core.AnalyzeOptions
+	// Report holds regenerated data for every figure of the paper.
+	Report = core.Report
+
+	// FlowRecord is the socket-level log's view of one flow.
+	FlowRecord = trace.FlowRecord
+	// Matrix is a sparse traffic matrix.
+	Matrix = tm.Matrix
+	// ModelParams is the §4.1 empirical traffic model.
+	ModelParams = model.Params
+	// TMSeriesGen generates correlated sequences of window TMs.
+	TMSeriesGen = model.SeriesGen
+	// FlowShape controls TM-to-flow decomposition in the model.
+	FlowShape = model.FlowShape
+	// TopologyConfig parameterizes the cluster fabric.
+	TopologyConfig = topology.Config
+	// Time is simulation time (an offset from run start).
+	Time = netsim.Time
+	// RNG is a deterministic random stream.
+	RNG = stats.RNG
+)
+
+// SmallRun returns the laptop-scale run configuration (80 servers, 2 h).
+func SmallRun() RunConfig { return core.SmallRun() }
+
+// PaperRun returns the paper-scale configuration (1500 servers, 24 h).
+// Expect minutes of wall-clock time and a few GB of memory.
+func PaperRun() RunConfig { return core.PaperRun() }
+
+// Simulate builds the cluster and runs the workload under socket-level
+// instrumentation.
+func Simulate(cfg RunConfig) (*RunResult, error) { return core.Simulate(cfg) }
+
+// Analyze regenerates every figure of the paper from a run.
+func Analyze(rr *RunResult, opts AnalyzeOptions) *Report { return core.Analyze(rr, opts) }
+
+// HeatASCII renders a TM as an ASCII heat map of loge(Bytes) — a terminal
+// rendition of Figure 2.
+func HeatASCII(m *Matrix, width int) string { return core.HeatASCII(m, width) }
+
+// PaperModel returns the §4.1 generative traffic model with parameters
+// tuned to the paper's reported statistics at the given cluster shape.
+func PaperModel(racks, serversPerRack, externalHosts int) ModelParams {
+	return model.PaperDefaults(racks, serversPerRack, externalHosts)
+}
+
+// FitModel estimates model parameters from a measured server-level TM.
+func FitModel(m *Matrix, topo *topology.Topology, window Time) ModelParams {
+	return model.Fit(m, topo, window)
+}
+
+// DefaultFlowShape returns §4.3-flavored flow decomposition defaults.
+func DefaultFlowShape() FlowShape { return model.DefaultFlowShape() }
+
+// NewRNG returns a deterministic random stream for the model generators.
+func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
+
+// WriteTrace streams flow records as JSON lines (the cmd/dcsim format).
+func WriteTrace(w io.Writer, records []FlowRecord) error {
+	return trace.WriteJSONL(w, records)
+}
+
+// ReadTrace parses a JSONL flow-record stream.
+func ReadTrace(r io.Reader) ([]FlowRecord, error) { return trace.ReadJSONL(r) }
+
+// ServerMatrix aggregates flow records into one host-level TM over
+// [from, to).
+func ServerMatrix(records []FlowRecord, numHosts int, from, to Time) *Matrix {
+	return tm.ServerMatrix(records, numHosts, from, to)
+}

@@ -1,0 +1,35 @@
+// Quickstart: simulate a small cluster for half an hour, analyze the
+// collected socket-level logs, and print the paper's headline statistics
+// plus a terminal rendition of Figure 2's traffic-matrix heat map.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dctraffic"
+)
+
+func main() {
+	cfg := dctraffic.SmallRun()
+	cfg.Duration = 30 * time.Minute
+	cfg.DrainTime = 10 * time.Minute
+
+	fmt.Printf("simulating %d servers for %v...\n",
+		cfg.Topology.Racks*cfg.Topology.ServersPerRack, cfg.Duration)
+	rr, err := dctraffic.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %d jobs, %d flows, %.1f GB moved\n\n",
+		len(rr.Cluster.Jobs()), len(rr.Records()), rr.Net.TotalBytes()/1e9)
+
+	rep := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
+	fmt.Print(rep.Text())
+
+	fmt.Println("\nFigure 2 heat map (rows = senders, cols = receivers, loge bytes):")
+	fmt.Print(dctraffic.HeatASCII(rep.Fig2.TM, 60))
+	fmt.Println("\nThe blocks on the diagonal are racks (work-seeks-bandwidth);")
+	fmt.Println("full rows/columns are scatter-gather servers.")
+}

@@ -1,0 +1,3 @@
+module dctraffic
+
+go 1.23

@@ -1,0 +1,92 @@
+package congestion
+
+import (
+	"sort"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+// Attribution answers §4.2's operator question: when links run hot, which
+// application activity is responsible? It joins the network log with the
+// application attribution carried in flow tags — the join the paper's
+// server-side instrumentation makes possible and SNMP cannot.
+type Attribution struct {
+	// BytesOnCongested is, per flow kind, the bytes that kind moved
+	// across links during their high-utilization episodes.
+	BytesOnCongested map[netsim.FlowKind]float64
+	// Share is BytesOnCongested normalized to sum to 1.
+	Share map[netsim.FlowKind]float64
+	// TotalBytes is the denominator.
+	TotalBytes float64
+}
+
+// Ranked returns the kinds by descending share.
+func (a Attribution) Ranked() []netsim.FlowKind {
+	kinds := make([]netsim.FlowKind, 0, len(a.Share))
+	for k := range a.Share {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if a.Share[kinds[i]] != a.Share[kinds[j]] {
+			return a.Share[kinds[i]] > a.Share[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	return kinds
+}
+
+// Attribute computes, for every congestion episode, which flow kinds'
+// bytes were crossing the hot link during the episode, assuming each
+// flow's bytes spread uniformly over its lifetime (the flow-record
+// approximation used throughout). The result is the paper's finding in
+// table form: reduce-phase shuffles dominate, with extract reads and
+// evacuations as the unexpected contributors.
+func Attribute(records []trace.FlowRecord, eps []Episode, top *topology.Topology) Attribution {
+	byLink := make(map[topology.LinkID][]Episode)
+	for _, e := range eps {
+		byLink[e.Link] = append(byLink[e.Link], e)
+	}
+	for l := range byLink {
+		es := byLink[l]
+		sort.Slice(es, func(i, j int) bool { return es[i].Start < es[j].Start })
+	}
+	a := Attribution{
+		BytesOnCongested: make(map[netsim.FlowKind]float64),
+		Share:            make(map[netsim.FlowKind]float64),
+	}
+	for _, r := range records {
+		dur := r.End - r.Start
+		if dur <= 0 || r.Bytes == 0 {
+			continue
+		}
+		rate := float64(r.Bytes) / dur.Seconds()
+		for _, l := range top.PathK(r.Src, r.Dst, uint64(r.ID)) {
+			for _, e := range byLink[l] {
+				if e.Start >= r.End {
+					break
+				}
+				lo, hi := e.Start, e.End
+				if r.Start > lo {
+					lo = r.Start
+				}
+				if r.End < hi {
+					hi = r.End
+				}
+				if hi <= lo {
+					continue
+				}
+				b := rate * (hi - lo).Seconds()
+				a.BytesOnCongested[r.Tag.Kind] += b
+				a.TotalBytes += b
+			}
+		}
+	}
+	if a.TotalBytes > 0 {
+		for k, v := range a.BytesOnCongested {
+			a.Share[k] = v / a.TotalBytes
+		}
+	}
+	return a
+}

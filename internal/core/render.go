@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dctraffic/internal/tm"
+)
+
+// Text renders the report's headline numbers as a human-readable summary,
+// one section per figure, with the paper's reported values alongside for
+// comparison.
+func (r *Report) Text() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("== §2 Instrumentation overhead ==")
+	w("  median CPU increase:        %.2f%%", r.Overhead.MedianCPUPct)
+	w("  median disk increase:       %.2f%%", r.Overhead.MedianDiskPct)
+	w("  cycles per network byte:    %.3f", r.Overhead.CyclesPerNetworkByte)
+	w("  log volume per server/day:  %.2f GB (upload %.2f GB after %.1fx compression)",
+		r.Overhead.LogBytesPerServerPerDay/1e9, r.Overhead.UploadBytesPerServerPerDay/1e9,
+		r.Overhead.CompressionRatio)
+
+	w("")
+	w("== Fig 2: traffic patterns (window %v..%v) ==", r.Fig2.From, r.Fig2.To)
+	w("  within-rack traffic share:  %.2f (work-seeks-bandwidth diagonal)", r.Fig2.Patterns.WithinRackFraction)
+	w("  within-VLAN traffic share:  %.2f", r.Fig2.Patterns.WithinVLANFraction)
+	w("  external traffic share:     %.3f (far corner)", r.Fig2.Patterns.ExternalFraction)
+	w("  scatter-gather rows/cols:   %d", r.Fig2.Patterns.ScatterGatherRows)
+
+	w("")
+	w("== Fig 3: TM entry distribution ==")
+	w("  P(zero | same rack):        %.3f   (paper ≈ 0.89)", r.Fig3.Entries.PZeroWithinRack)
+	w("  P(zero | cross rack):       %.4f  (paper ≈ 0.995)", r.Fig3.Entries.PZeroAcrossRack)
+	w("  non-zero entries:           %d within rack, %d across",
+		len(r.Fig3.Entries.WithinRack), len(r.Fig3.Entries.AcrossRack))
+
+	w("")
+	w("== Fig 4: correspondents ==")
+	w("  median within rack:         %.1f  (paper: 2)", r.Fig4.Stats.MedianWithinCount)
+	w("  median outside rack:        %.1f  (paper: 4)", r.Fig4.Stats.MedianAcrossCount)
+
+	w("")
+	w("== Fig 5: where/when congestion happens ==")
+	w("  inter-switch links:         %d", r.Fig5.LinksMonitored)
+	w("  episodes detected:          %d", len(r.Fig5.Episodes))
+	w("  links with ≥10s episode:    %.2f  (paper: 0.86)", r.Fig5.FracLinks10s)
+	w("  links with ≥100s episode:   %.2f  (paper: 0.15)", r.Fig5.FracLinks100s)
+	w("  mean concurrent hot links:  %.2f", r.Fig5.MeanConcurrent)
+	w("  co-hot links (short eps):   %.2f over %d episodes (paper: correlated)",
+		r.Fig5.Correlation.MeanCoHotShort, r.Fig5.Correlation.ShortEpisodes)
+	w("  co-hot links (long eps):    %.2f over %d episodes (paper: localized)",
+		r.Fig5.Correlation.MeanCoHotLong, r.Fig5.Correlation.LongEpisodes)
+
+	w("")
+	w("== Fig 6: congestion durations ==")
+	w("  episodes:                   %d (longest %.0fs)", r.Fig6.Episodes, r.Fig6.LongestSec)
+	w("  P(duration ≤ 10s):          %.2f  (paper: >0.9)", r.Fig6.FracUnder10)
+	w("  episodes > 10s:             %d    (paper: 665 in a day)", r.Fig6.Over10s)
+
+	w("")
+	w("== Fig 7: flow rates under congestion ==")
+	w("  median rate (overlapping):  %.3f Mbps", r.Fig7.MedianOverlapMbps)
+	w("  median rate (all flows):    %.3f Mbps (paper: distributions nearly coincide)", r.Fig7.MedianAllMbps)
+
+	w("")
+	w("== Fig 8: read failures vs utilization (period %v) ==", r.Fig8.Period)
+	for _, d := range r.Fig8.Days {
+		w("  period %2d: congested=%5d clear=%6d  increase=%+.1f%%",
+			d.Day, d.CongestedReads, d.ClearReads, d.IncreasePct)
+	}
+	w("  median increase:            %+.1f%%  (paper: ~110%%, i.e. 1.1x)", r.Fig8.MedianIncreasePct)
+
+	w("")
+	w("== Fig 9: flow durations ==")
+	s := r.Fig9.Summary
+	w("  flows:                      %d", s.NumFlows)
+	w("  P(duration < 10s):          %.3f (paper: >0.8)", s.FracShorterThan10s)
+	w("  P(duration > 200s):         %.4f (paper: <0.001)", s.FracLongerThan200s)
+	w("  bytes in flows ≤ 25s:       %.2f (paper: >0.5)", s.BytesInFlowsUnder25s)
+
+	w("")
+	w("== Fig 10: traffic change over time (bin %v) ==", r.Fig10.Bin)
+	w("  median |ΔTM|/|TM| at 10s:   %.2f", r.Fig10.MedianChange10s)
+	w("  median |ΔTM|/|TM| at 100s:  %.2f (paper: large change despite flat totals)", r.Fig10.MedianChange100s)
+
+	w("")
+	w("== Fig 11: flow inter-arrivals ==")
+	w("  cluster arrival rate:       %.0f flows/s", r.Fig11.ArrivalPerSec)
+	w("  server-level mode spacing:  %.1f ms (paper: ~15 ms periodic modes)", r.Fig11.ModeMs)
+
+	w("")
+	w("== Fig 12: tomography error (RMSRE over top-75%% volume) ==")
+	w("  TMs evaluated:              %d", r.Fig12.NumTMs)
+	w("  tomogravity median:         %.2f (paper: 0.60, range 0.35–1.84)", r.Fig12.MedianTomogravity)
+	w("  tomogravity+jobs median:    %.2f (paper: marginally better)", r.Fig12.MedianTomogravityJobs)
+	w("  tomogravity+roles median:   %.2f (§5.3 future-work extension)", r.Fig12.MedianTomogravityRoles)
+	w("  sparsity-max median:        %.2f (paper: worse than tomogravity)", r.Fig12.MedianSparsityMax)
+
+	w("")
+	w("== Fig 13: error vs ground-truth sparsity ==")
+	w("  Pearson correlation:        %.2f (paper: negative)", r.Fig13.Pearson)
+	w("  log fit y = %.2f %+.2f·ln(x)", r.Fig13.FitA, r.Fig13.FitB)
+
+	w("")
+	w("== Fig 14: sparsity of estimates (entries for 75%% volume) ==")
+	w("  sparsity-max non-zeros:     %.0f mean (paper: ~150 ≈ 3%% at 75 ToRs)", r.Fig14.SparsityNonZeros)
+	w("  heavy-hitter hits:          %.1f mean (paper: 5–20)", r.Fig14.HeavyHitterHits)
+
+	w("")
+	w("== §4.4 incast preconditions ==")
+	w("  max simultaneous conns:     %d (paper default: 2)", r.Incast.MaxSimultaneousConnections)
+	w("  flows within rack:          %.2f", r.Incast.FracFlowsWithinRack)
+	w("  flows within VLAN:          %.2f", r.Incast.FracFlowsWithinVLAN)
+	w("  mean concurrent hot links:  %.2f", r.Incast.MeanConcurrentCongestedLinks)
+	w("  max synchronized fan-in:    %d senders/ms", r.Incast.MaxSyncFanIn)
+
+	w("")
+	w("== §4.2 attribution: who is on the hot links? ==")
+	for _, k := range r.Attribution.Ranked() {
+		w("  %-14s %5.1f%%", k.String(), r.Attribution.Share[k]*100)
+	}
+	w("  (paper: reduce-phase shuffles dominate; extract reads and evacuations")
+	w("   are the unexpected contributors)")
+	return b.String()
+}
+
+// HeatASCII renders a TM as an ASCII heat map of loge(Bytes) — a terminal
+// rendition of Figure 2. Each cell aggregates a block of endpoints when
+// the matrix is larger than width.
+func HeatASCII(m *tm.Matrix, width int) string {
+	if width <= 0 || width > m.N() {
+		width = m.N()
+	}
+	block := (m.N() + width - 1) / width
+	cells := make([][]float64, width)
+	for i := range cells {
+		cells[i] = make([]float64, width)
+	}
+	m.ForEach(func(s, d int, b float64) {
+		i, j := s/block, d/block
+		if i < width && j < width {
+			cells[i][j] += b
+		}
+	})
+	ramp := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	maxLog := 0.0
+	for _, row := range cells {
+		for _, v := range row {
+			if v > 1 {
+				if l := math.Log(v); l > maxLog {
+					maxLog = l
+				}
+			}
+		}
+	}
+	if maxLog == 0 {
+		maxLog = 1
+	}
+	// Row = source, column = destination; origin top-left.
+	for _, row := range cells {
+		for _, v := range row {
+			idx := 0
+			if v > 1 {
+				idx = int(math.Log(v) / maxLog * float64(len(ramp)-1))
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+				if idx < 1 {
+					idx = 1
+				}
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

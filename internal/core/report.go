@@ -1,0 +1,513 @@
+package core
+
+import (
+	"time"
+
+	"dctraffic/internal/congestion"
+	"dctraffic/internal/flows"
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/tm"
+	"dctraffic/internal/tomo"
+	"dctraffic/internal/trace"
+)
+
+// AnalyzeOptions tunes the per-figure analyses. ApplyDefaults fills zero
+// fields.
+type AnalyzeOptions struct {
+	// Fig2Window is the short window whose server TM shows the patterns
+	// (paper: 10 s).
+	Fig2Window netsim.Time
+	// Fig2At is the window start (default: mid-run).
+	Fig2At netsim.Time
+
+	// CongestionThreshold is C (default 0.7).
+	CongestionThreshold float64
+
+	// Fig8Period groups read attempts (paper: one day). For runs
+	// shorter than two periods it is shrunk to duration/8.
+	Fig8Period netsim.Time
+
+	// Fig10Bin is the fine TM timescale (paper: 10 s) whose lag-1 and
+	// lag-10 changes give the τ=10 s and τ=100 s curves.
+	Fig10Bin netsim.Time
+
+	// InactivityTimeout, when positive, applies the §3 flow-boundary
+	// methodology before the flow-level analyses (Figures 9 and 11):
+	// records sharing a five-tuple quiet for less than the timeout merge
+	// into one flow. The simulator has exact flow boundaries, so this is
+	// off by default; turn it on to study the methodology's effect.
+	InactivityTimeout netsim.Time
+
+	// TomoBin is the tomography TM timescale (paper: 10 min averages).
+	TomoBin netsim.Time
+	// TomoMaxTMs caps the number of tomography instances analyzed.
+	TomoMaxTMs int
+	// JobPriorAlpha scales the §5.3 multiplier.
+	JobPriorAlpha float64
+}
+
+// ApplyDefaults returns o with zero fields replaced by defaults scaled to
+// the run duration.
+func (o AnalyzeOptions) ApplyDefaults(duration netsim.Time) AnalyzeOptions {
+	if o.Fig2Window <= 0 {
+		o.Fig2Window = 10 * time.Second
+	}
+	if o.Fig2At <= 0 {
+		o.Fig2At = duration / 2
+	}
+	if o.CongestionThreshold <= 0 {
+		o.CongestionThreshold = congestion.DefaultThreshold
+	}
+	if o.Fig8Period <= 0 {
+		o.Fig8Period = 24 * time.Hour
+		if duration < 2*o.Fig8Period {
+			o.Fig8Period = duration / 8
+			if o.Fig8Period <= 0 {
+				o.Fig8Period = duration
+			}
+		}
+	}
+	if o.Fig10Bin <= 0 {
+		o.Fig10Bin = 10 * time.Second
+	}
+	if o.TomoBin <= 0 {
+		o.TomoBin = 10 * time.Minute
+		if duration < 12*o.TomoBin {
+			o.TomoBin = duration / 12
+			if o.TomoBin <= 0 {
+				o.TomoBin = duration
+			}
+		}
+	}
+	if o.TomoMaxTMs <= 0 {
+		o.TomoMaxTMs = 144 // a day of 10-minute TMs
+	}
+	if o.JobPriorAlpha <= 0 {
+		o.JobPriorAlpha = 4
+	}
+	return o
+}
+
+// Report holds the regenerated data for every figure in the paper.
+type Report struct {
+	Overhead trace.Overhead
+
+	Fig2  Fig2Data
+	Fig3  Fig3Data
+	Fig4  Fig4Data
+	Fig5  Fig5Data
+	Fig6  Fig6Data
+	Fig7  Fig7Data
+	Fig8  Fig8Data
+	Fig9  Fig9Data
+	Fig10 Fig10Data
+	Fig11 Fig11Data
+	Fig12 Fig12Data
+	Fig13 Fig13Data
+	Fig14 Fig14Data
+
+	Incast congestion.IncastAudit
+
+	// Attribution is §4.2's network↔application join: which flow kinds'
+	// bytes were on links while they ran hot.
+	Attribution congestion.Attribution
+}
+
+// Fig2Data is the macroscopic TM snapshot: work-seeks-bandwidth +
+// scatter-gather.
+type Fig2Data struct {
+	From, To netsim.Time
+	TM       *tm.Matrix
+	Patterns tm.PatternSummary
+}
+
+// Fig3Data is the distribution of non-zero TM entries by rack locality.
+type Fig3Data struct {
+	Entries       tm.EntryStats
+	WithinDensity []stats.Point // density over loge(Bytes)
+	AcrossDensity []stats.Point
+}
+
+// Fig4Data is the correspondents analysis.
+type Fig4Data struct {
+	Stats     tm.CorrespondentStats
+	WithinCDF []stats.Point // CDF of fraction of in-rack correspondents
+	AcrossCDF []stats.Point
+}
+
+// Fig5Data is when-and-where congestion happens.
+type Fig5Data struct {
+	Episodes       []congestion.Episode
+	LinksMonitored int
+	FracLinks10s   float64 // paper: 0.86
+	FracLinks100s  float64 // paper: 0.15
+	// MeanConcurrentShort counts how many links are simultaneously hot
+	// during short episodes (correlation claim).
+	MeanConcurrent float64
+	// Correlation splits co-hot link counts by episode length (the paper:
+	// short periods correlate across links, long ones localize).
+	Correlation congestion.CorrelationStats
+}
+
+// Fig6Data is the congestion-episode duration distribution.
+type Fig6Data struct {
+	DurationCDF []stats.Point // seconds
+	Episodes    int
+	Over10s     int
+	LongestSec  float64
+	FracUnder10 float64 // of episodes >= 1s (paper: >90%)
+}
+
+// Fig7Data compares rates of congestion-overlapping flows to all flows.
+type Fig7Data struct {
+	OverlapCDF        []stats.Point // Mbps
+	AllCDF            []stats.Point
+	MedianOverlapMbps float64
+	MedianAllMbps     float64
+}
+
+// Fig8Data is the read-failure impact of high utilization.
+type Fig8Data struct {
+	Period            netsim.Time
+	Days              []congestion.DayImpact
+	MedianIncreasePct float64
+}
+
+// Fig9Data is the flow-duration distribution.
+type Fig9Data struct {
+	ByFlowsCDF []stats.Point // seconds
+	ByBytesCDF []stats.Point
+	Summary    flows.Summary
+}
+
+// Fig10Data is traffic change over time.
+type Fig10Data struct {
+	Bin              netsim.Time
+	Magnitude        []stats.Point // x: seconds, y: bytes/s
+	Change10s        []float64     // lag-1 normalized change
+	Change100s       []float64     // lag-10
+	MedianChange10s  float64
+	MedianChange100s float64
+}
+
+// Fig11Data is the inter-arrival analysis.
+type Fig11Data struct {
+	ClusterCDF    []stats.Point // ms
+	TorCDF        []stats.Point
+	ServerCDF     []stats.Point
+	ModeMs        float64 // dominant short-gap mode at servers (paper ~15 ms)
+	ArrivalPerSec float64
+}
+
+// Fig12Data is the tomography error comparison.
+type Fig12Data struct {
+	NumTMs                 int
+	Tomogravity            []float64 // RMSRE per TM
+	TomogravityJobs        []float64
+	TomogravityRoles       []float64 // §5.3 future-work extension: phase-directed prior
+	SparsityMax            []float64
+	MedianTomogravity      float64
+	MedianTomogravityJobs  float64
+	MedianTomogravityRoles float64
+	MedianSparsityMax      float64
+}
+
+// Fig13Data correlates tomogravity error with ground-truth sparsity.
+type Fig13Data struct {
+	// Per TM: x = fraction of entries for 75% volume, y = RMSRE.
+	Points  []stats.Point
+	Pearson float64
+	// LogFit y = A + B·ln x (paper overlays a logarithmic best fit).
+	FitA, FitB float64
+}
+
+// Fig14Data compares the sparsity of truth and estimates.
+type Fig14Data struct {
+	TruthCDF       []stats.Point // fraction of entries for 75% volume
+	TomogravityCDF []stats.Point
+	JobsCDF        []stats.Point
+	SparsityCDF    []stats.Point
+	// SparsityNonZeros is the mean non-zero count of sparsity-max
+	// estimates (paper: ~150 ≈ 3% of entries at 75 ToRs).
+	SparsityNonZeros float64
+	// HeavyHitterHits is the mean number of sparsity-max non-zeros that
+	// land on true 97th-percentile entries (paper: only 5–20).
+	HeavyHitterHits float64
+}
+
+// Analyze regenerates every figure from a run.
+func Analyze(rr *RunResult, opts AnalyzeOptions) *Report {
+	opts = opts.ApplyDefaults(rr.Config.Duration)
+	records := rr.Records()
+	top := rr.Top
+	duration := rr.Config.Duration
+	rep := &Report{}
+
+	rep.Overhead = rr.Collector.Overhead(duration)
+	// Replace the model's compression constant with the ratio actually
+	// achieved on this run's log sample.
+	if ratio, err := rr.Collector.MeasuredCompression(0); err == nil && ratio > 0 {
+		rep.Overhead.CompressionRatio = ratio
+		rep.Overhead.UploadBytesPerServerPerDay = rep.Overhead.LogBytesPerServerPerDay / ratio
+	}
+
+	// Figure 2. The heat-map TM is the paper's 10 s snapshot; the pattern
+	// shares are computed over a 10×-longer window so they are stable
+	// (a single 10 s window is dominated by whichever shuffle is active).
+	fig2TM := tm.ServerMatrix(records, top.NumHosts(), opts.Fig2At, opts.Fig2At+opts.Fig2Window)
+	fig34TM := tm.ServerMatrix(records, top.NumHosts(), opts.Fig2At, opts.Fig2At+10*opts.Fig2Window)
+	rep.Fig2 = Fig2Data{
+		From: opts.Fig2At, To: opts.Fig2At + opts.Fig2Window,
+		TM:       fig2TM,
+		Patterns: tm.SummarizePatterns(fig34TM, top),
+	}
+	// Figures 3 and 4: a single window at this cluster scale is dominated
+	// by whatever burst (shuffle, evacuation) happens to be active, so the
+	// statistics are pooled over windows sampled across the whole run —
+	// the paper's distributions likewise aggregate over many TMs.
+	const fig34Samples = 16
+	var es tm.EntryStats
+	var zeroWithin, zeroAcross float64
+	var fracWithin, fracAcross, withinCounts, acrossCounts []float64
+	sampleWindow := 10 * opts.Fig2Window
+	for k := 0; k < fig34Samples; k++ {
+		from := duration * netsim.Time(k) / fig34Samples
+		w := tm.ServerMatrix(records, top.NumHosts(), from, from+sampleWindow)
+		if w.NonZero() == 0 {
+			continue
+		}
+		wes := tm.ComputeEntryStats(w, top)
+		es.WithinRack = append(es.WithinRack, wes.WithinRack...)
+		es.AcrossRack = append(es.AcrossRack, wes.AcrossRack...)
+		zeroWithin += wes.PZeroWithinRack
+		zeroAcross += wes.PZeroAcrossRack
+		wcs := tm.ComputeCorrespondents(w, top)
+		fracWithin = append(fracWithin, wcs.FracWithin...)
+		fracAcross = append(fracAcross, wcs.FracAcross...)
+		withinCounts = append(withinCounts, wcs.MedianWithinCount)
+		acrossCounts = append(acrossCounts, wcs.MedianAcrossCount)
+	}
+	if n := len(withinCounts); n > 0 {
+		es.PZeroWithinRack = zeroWithin / float64(n)
+		es.PZeroAcrossRack = zeroAcross / float64(n)
+	}
+	wd, ad := es.LogHistograms(30)
+	rep.Fig3 = Fig3Data{Entries: es, WithinDensity: wd, AcrossDensity: ad}
+
+	rep.Fig4 = Fig4Data{
+		Stats: tm.CorrespondentStats{
+			FracWithin:        fracWithin,
+			FracAcross:        fracAcross,
+			MedianWithinCount: stats.Median(withinCounts),
+			MedianAcrossCount: stats.Median(acrossCounts),
+		},
+		WithinCDF: stats.NewCDF(fracWithin).Points(50),
+		AcrossCDF: stats.NewCDF(fracAcross).Points(50),
+	}
+
+	// Figures 5–6: congestion on inter-switch links.
+	links := top.InterSwitchLinks()
+	eps := congestion.Detect(rr.Net.Stats(), top, opts.CongestionThreshold, links)
+	conc := congestion.ConcurrencySeries(eps, rr.Net.Stats().BinSize(), duration)
+	meanConc := 0.0
+	if len(conc) > 0 {
+		s := 0
+		for _, v := range conc {
+			s += v
+		}
+		meanConc = float64(s) / float64(len(conc))
+	}
+	rep.Fig5 = Fig5Data{
+		Episodes:       eps,
+		LinksMonitored: len(links),
+		FracLinks10s:   congestion.FracLinksWithEpisodeAtLeast(eps, links, 10*time.Second),
+		FracLinks100s:  congestion.FracLinksWithEpisodeAtLeast(eps, links, 100*time.Second),
+		MeanConcurrent: meanConc,
+		Correlation:    congestion.Correlate(eps),
+	}
+
+	durCDF, over10, longest := congestion.DurationStats(eps)
+	rep.Fig6 = Fig6Data{
+		DurationCDF: durCDF.Points(100),
+		Episodes:    durCDF.N(),
+		Over10s:     over10,
+		LongestSec:  longest,
+		FracUnder10: durCDF.P(10),
+	}
+
+	// Figure 7.
+	overlap, all := congestion.OverlapRateCDFs(records, eps, top)
+	rep.Fig7 = Fig7Data{
+		OverlapCDF:        overlap.Points(100),
+		AllCDF:            all.Points(100),
+		MedianOverlapMbps: overlap.Quantile(0.5),
+		MedianAllMbps:     all.Quantile(0.5),
+	}
+
+	// Figure 8.
+	numPeriods := int(duration / opts.Fig8Period)
+	if numPeriods < 1 {
+		numPeriods = 1
+	}
+	days := congestion.ReadFailureImpact(rr.Log, records, eps, top, opts.Fig8Period, numPeriods)
+	var increases []float64
+	for _, d := range days {
+		if d.CongestedReads > 0 && d.ClearReads > 0 {
+			increases = append(increases, d.IncreasePct)
+		}
+	}
+	rep.Fig8 = Fig8Data{Period: opts.Fig8Period, Days: days, MedianIncreasePct: stats.Median(increases)}
+
+	// Figure 9. Optionally apply the §3 inactivity-timeout methodology
+	// first.
+	flowRecords := records
+	if opts.InactivityTimeout > 0 {
+		flowRecords = flows.Reassemble(records, opts.InactivityTimeout)
+	}
+	byFlows, byBytes := flows.DurationCDFs(flowRecords)
+	rep.Fig9 = Fig9Data{
+		ByFlowsCDF: byFlows.Points(100),
+		ByBytesCDF: byBytes.Points(100),
+		Summary:    flows.Summarize(flowRecords, duration),
+	}
+
+	// Figure 10.
+	series := tm.ServerSeries(records, top.NumHosts(), opts.Fig10Bin, duration)
+	mag := tm.MagnitudeSeries(series)
+	magPts := make([]stats.Point, len(mag))
+	binSec := opts.Fig10Bin.Seconds()
+	for i, v := range mag {
+		magPts[i] = stats.Point{X: float64(i) * binSec, Y: v / binSec}
+	}
+	ch10 := tm.ChangeSeries(series, 1)
+	ch100 := tm.ChangeSeries(series, 10)
+	rep.Fig10 = Fig10Data{
+		Bin:              opts.Fig10Bin,
+		Magnitude:        magPts,
+		Change10s:        ch10,
+		Change100s:       ch100,
+		MedianChange10s:  stats.Median(nonZero(ch10)),
+		MedianChange100s: stats.Median(nonZero(ch100)),
+	}
+
+	// Figure 11.
+	cluster := flows.ClusterInterArrivals(flowRecords)
+	torGaps := flows.TorInterArrivals(flowRecords, top)
+	serverGaps := flows.ServerInterArrivals(flowRecords, top)
+	rep.Fig11 = Fig11Data{
+		ClusterCDF:    stats.NewCDF(cluster).Points(100),
+		TorCDF:        stats.NewCDF(torGaps).Points(100),
+		ServerCDF:     stats.NewCDF(serverGaps).Points(100),
+		ModeMs:        flows.ModeSpacing(serverGaps, 2, 100, 196),
+		ArrivalPerSec: flows.ArrivalRatePerSec(records, duration),
+	}
+
+	// Figures 12–14: tomography over ToR TMs.
+	rep.Fig12, rep.Fig13, rep.Fig14 = analyzeTomography(rr, records, opts)
+
+	// §4.4 audit.
+	rep.Incast = congestion.AuditIncast(records, top, eps, rr.Net.Stats().BinSize(), duration,
+		rr.Cluster.Config().MaxConnsPerVertex)
+
+	// §4.2 attribution.
+	rep.Attribution = congestion.Attribute(records, eps, top)
+
+	return rep
+}
+
+// analyzeTomography evaluates the three estimators over a day of ToR TMs.
+func analyzeTomography(rr *RunResult, records []trace.FlowRecord, opts AnalyzeOptions) (Fig12Data, Fig13Data, Fig14Data) {
+	top := rr.Top
+	duration := rr.Config.Duration
+	problem := tomo.NewProblem(top)
+	series := tm.TorSeries(records, top, opts.TomoBin, duration)
+	if len(series) > opts.TomoMaxTMs {
+		series = series[:opts.TomoMaxTMs]
+	}
+	var f12 Fig12Data
+	var f13 Fig13Data
+	truthCDF, tgCDF, jobsCDF, smCDF := &stats.CDF{}, &stats.CDF{}, &stats.CDF{}, &stats.CDF{}
+	var smNonZeros, smHits []float64
+	var xs, ys []float64
+	for i, truth := range series {
+		if truth.Total() <= 0 {
+			continue
+		}
+		b := problem.LinkCounts(truth)
+		xTrue := problem.VecFromTM(truth)
+
+		tg, err := problem.Tomogravity(b)
+		if err != nil {
+			continue
+		}
+		from := netsim.Time(i) * opts.TomoBin
+		mult := tomo.JobMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
+		tj, err := problem.TomogravityWithMultiplier(b, mult)
+		if err != nil {
+			continue
+		}
+		roleMult := tomo.RoleAwareMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
+		tr, err := problem.TomogravityWithMultiplier(b, roleMult)
+		if err != nil {
+			continue
+		}
+		sm, err := problem.SparsityMax(b)
+		if err != nil {
+			continue
+		}
+
+		f12.NumTMs++
+		eTG := tomo.RMSRE(xTrue, tg, 0.75)
+		f12.Tomogravity = append(f12.Tomogravity, eTG)
+		f12.TomogravityJobs = append(f12.TomogravityJobs, tomo.RMSRE(xTrue, tj, 0.75))
+		f12.TomogravityRoles = append(f12.TomogravityRoles, tomo.RMSRE(xTrue, tr, 0.75))
+		f12.SparsityMax = append(f12.SparsityMax, tomo.RMSRE(xTrue, sm, 0.75))
+
+		_, fracTrue := tomo.SparsityOfVec(xTrue, 0.75)
+		_, fracTG := tomo.SparsityOfVec(tg, 0.75)
+		_, fracTJ := tomo.SparsityOfVec(tj, 0.75)
+		_, fracSM := tomo.SparsityOfVec(sm, 0.75)
+		truthCDF.Add(fracTrue)
+		tgCDF.Add(fracTG)
+		jobsCDF.Add(fracTJ)
+		smCDF.Add(fracSM)
+		smNonZeros = append(smNonZeros, float64(tomo.NonZeroCount(sm)))
+		smHits = append(smHits, float64(tomo.HeavyHitterOverlap(xTrue, sm, 97)))
+
+		xs = append(xs, fracTrue)
+		ys = append(ys, eTG)
+	}
+	f12.MedianTomogravity = stats.Median(f12.Tomogravity)
+	f12.MedianTomogravityJobs = stats.Median(f12.TomogravityJobs)
+	f12.MedianTomogravityRoles = stats.Median(f12.TomogravityRoles)
+	f12.MedianSparsityMax = stats.Median(f12.SparsityMax)
+
+	for i := range xs {
+		f13.Points = append(f13.Points, stats.Point{X: xs[i], Y: ys[i]})
+	}
+	if len(xs) >= 2 {
+		f13.Pearson = stats.Pearson(xs, ys)
+		f13.FitA, f13.FitB = stats.LogFit(xs, ys)
+	}
+
+	f14 := Fig14Data{
+		TruthCDF:         truthCDF.Points(50),
+		TomogravityCDF:   tgCDF.Points(50),
+		JobsCDF:          jobsCDF.Points(50),
+		SparsityCDF:      smCDF.Points(50),
+		SparsityNonZeros: stats.Mean(smNonZeros),
+		HeavyHitterHits:  stats.Mean(smHits),
+	}
+	return f12, f13, f14
+}
+
+func nonZero(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		if x != 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package core orchestrates the full reproduction pipeline: build a
+// cluster, run the workload under instrumentation, and regenerate every
+// table and figure of the paper from the collected logs.
+//
+// The two entry points are Simulate (workload → socket-level logs) and
+// Analyze (logs → Report, one field per figure). cmd/dcanalyze and
+// bench_test.go are thin wrappers over these.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dctraffic/internal/cosmos"
+	"dctraffic/internal/eventlog"
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/sched"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+// RunConfig assembles a full simulation.
+type RunConfig struct {
+	Topology topology.Config
+	Store    cosmos.Config
+	Sched    sched.Config
+	Trace    trace.Config
+
+	// Duration of the instrumented window.
+	Duration netsim.Time
+
+	// DrainTime lets in-flight work finish after the window (not
+	// instrumented as part of Duration-based rates).
+	DrainTime netsim.Time
+
+	// UtilBinSize sizes the SNMP-like link counters (default 1 s).
+	UtilBinSize netsim.Time
+
+	// RateRecompute batches max-min recomputation for speed on long
+	// runs (default exact).
+	RateRecompute netsim.Time
+
+	Seed uint64
+}
+
+// SmallRun returns a laptop-scale configuration: the 80-server topology
+// with a two-hour instrumented window.
+func SmallRun() RunConfig {
+	sc := sched.DefaultConfig()
+	return RunConfig{
+		Topology:    topology.SmallConfig(),
+		Store:       cosmos.Config{ReplicationFactor: 3, ExtentBytes: 64 << 20},
+		Sched:       sc,
+		Duration:    2 * time.Hour,
+		DrainTime:   30 * time.Minute,
+		UtilBinSize: time.Second,
+		Seed:        1,
+	}
+}
+
+// PaperRun returns the paper-scale configuration: 75 racks × 20 servers
+// and a full day. Expect minutes of wall-clock time and a few GB of RAM.
+func PaperRun() RunConfig {
+	sc := sched.DefaultConfig()
+	sc.JobsPerHour = 900 // scale arrivals with cluster size
+	sc.NumDatasets = 40
+	return RunConfig{
+		Topology:      topology.DefaultConfig(),
+		Store:         cosmos.DefaultConfig(),
+		Sched:         sc,
+		Duration:      24 * time.Hour,
+		DrainTime:     time.Hour,
+		UtilBinSize:   time.Second,
+		RateRecompute: 10 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// RunResult carries everything a Simulate produced.
+type RunResult struct {
+	Config    RunConfig
+	Top       *topology.Topology
+	Net       *netsim.Network
+	Cluster   *sched.Cluster
+	Store     *cosmos.Store
+	Collector *trace.Collector
+	Log       *eventlog.Log
+}
+
+// Records returns the socket-level flow log.
+func (r *RunResult) Records() []trace.FlowRecord { return r.Collector.Records() }
+
+// Simulate builds the cluster, runs the workload for the configured
+// duration plus drain, and returns the results.
+func Simulate(cfg RunConfig) (*RunResult, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.UtilBinSize <= 0 {
+		cfg.UtilBinSize = time.Second
+	}
+	top, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("core: topology: %w", err)
+	}
+	net := netsim.New(top, netsim.Options{
+		StatsBinSize:         cfg.UtilBinSize,
+		MinRecomputeInterval: cfg.RateRecompute,
+	})
+	collector := trace.NewCollector(top, cfg.Trace)
+	net.AddObserver(collector)
+	log := &eventlog.Log{}
+	store := cosmos.NewStore(top, cfg.Store, stats.NewRNG(cfg.Seed).Fork("store"))
+	schedCfg := cfg.Sched
+	if schedCfg.Seed == 0 {
+		schedCfg.Seed = cfg.Seed
+	}
+	cluster := sched.NewCluster(net, store, log, schedCfg)
+	cluster.Start(cfg.Duration)
+	net.Run(cfg.Duration + cfg.DrainTime)
+	net.Flush()
+	return &RunResult{
+		Config:    cfg,
+		Top:       top,
+		Net:       net,
+		Cluster:   cluster,
+		Store:     store,
+		Collector: collector,
+		Log:       log,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import "encoding/json"
+
+// Headline is the machine-readable digest of a Report: one number per
+// headline statistic, suitable for CI regression tracking and for
+// comparing runs across seeds or scales.
+type Headline struct {
+	CPUOverheadPct       float64 `json:"cpu_overhead_pct"`
+	CompressionRatio     float64 `json:"compression_ratio"`
+	WithinRackShare      float64 `json:"within_rack_share"`
+	WithinVLANShare      float64 `json:"within_vlan_share"`
+	PZeroWithinRack      float64 `json:"p_zero_within_rack"`
+	PZeroAcrossRack      float64 `json:"p_zero_across_rack"`
+	MedianCorrWithin     float64 `json:"median_correspondents_within"`
+	MedianCorrAcross     float64 `json:"median_correspondents_across"`
+	FracLinks10s         float64 `json:"frac_links_congested_10s"`
+	FracLinks100s        float64 `json:"frac_links_congested_100s"`
+	FracEpisodesUnder10s float64 `json:"frac_episodes_under_10s"`
+	MedianReadFailIncPct float64 `json:"median_read_failure_increase_pct"`
+	FracFlowsUnder10s    float64 `json:"frac_flows_under_10s"`
+	BytesInFlowsUnder25s float64 `json:"bytes_in_flows_under_25s"`
+	MedianChange10s      float64 `json:"median_tm_change_10s"`
+	InterArrivalModeMs   float64 `json:"inter_arrival_mode_ms"`
+	TomogravityRMSRE     float64 `json:"tomogravity_median_rmsre"`
+	SparsityMaxRMSRE     float64 `json:"sparsity_max_median_rmsre"`
+	SparsityPearson      float64 `json:"error_vs_sparsity_pearson"`
+	ConnectionCap        int     `json:"connection_cap"`
+}
+
+// Headline extracts the digest from a report.
+func (r *Report) Headline() Headline {
+	return Headline{
+		CPUOverheadPct:       r.Overhead.MedianCPUPct,
+		CompressionRatio:     r.Overhead.CompressionRatio,
+		WithinRackShare:      r.Fig2.Patterns.WithinRackFraction,
+		WithinVLANShare:      r.Fig2.Patterns.WithinVLANFraction,
+		PZeroWithinRack:      r.Fig3.Entries.PZeroWithinRack,
+		PZeroAcrossRack:      r.Fig3.Entries.PZeroAcrossRack,
+		MedianCorrWithin:     r.Fig4.Stats.MedianWithinCount,
+		MedianCorrAcross:     r.Fig4.Stats.MedianAcrossCount,
+		FracLinks10s:         r.Fig5.FracLinks10s,
+		FracLinks100s:        r.Fig5.FracLinks100s,
+		FracEpisodesUnder10s: r.Fig6.FracUnder10,
+		MedianReadFailIncPct: r.Fig8.MedianIncreasePct,
+		FracFlowsUnder10s:    r.Fig9.Summary.FracShorterThan10s,
+		BytesInFlowsUnder25s: r.Fig9.Summary.BytesInFlowsUnder25s,
+		MedianChange10s:      r.Fig10.MedianChange10s,
+		InterArrivalModeMs:   r.Fig11.ModeMs,
+		TomogravityRMSRE:     r.Fig12.MedianTomogravity,
+		SparsityMaxRMSRE:     r.Fig12.MedianSparsityMax,
+		SparsityPearson:      r.Fig13.Pearson,
+		ConnectionCap:        r.Incast.MaxSimultaneousConnections,
+	}
+}
+
+// JSON renders the headline digest as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Headline(), "", "  ")
+}

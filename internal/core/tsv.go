@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dctraffic/internal/stats"
+)
+
+// WriteTSV writes every figure's data series into dir as tab-separated
+// files, one per plotted curve, ready for gnuplot/matplotlib. The
+// directory is created if missing. File names follow the paper's figure
+// numbering (fig03_within_density.tsv, fig12_tomogravity_rmsre.tsv, ...).
+func (r *Report) WriteTSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create tsv dir: %w", err)
+	}
+	files := map[string]string{
+		"fig03_within_density.tsv":    pointsTSV("loge_bytes\tdensity", r.Fig3.WithinDensity),
+		"fig03_across_density.tsv":    pointsTSV("loge_bytes\tdensity", r.Fig3.AcrossDensity),
+		"fig04_within_cdf.tsv":        pointsTSV("frac_correspondents\tcdf", r.Fig4.WithinCDF),
+		"fig04_across_cdf.tsv":        pointsTSV("frac_correspondents\tcdf", r.Fig4.AcrossCDF),
+		"fig06_duration_cdf.tsv":      pointsTSV("seconds\tcdf", r.Fig6.DurationCDF),
+		"fig07_overlap_rate_cdf.tsv":  pointsTSV("mbps\tcdf", r.Fig7.OverlapCDF),
+		"fig07_all_rate_cdf.tsv":      pointsTSV("mbps\tcdf", r.Fig7.AllCDF),
+		"fig09_byflows_cdf.tsv":       pointsTSV("seconds\tcdf", r.Fig9.ByFlowsCDF),
+		"fig09_bybytes_cdf.tsv":       pointsTSV("seconds\tcdf", r.Fig9.ByBytesCDF),
+		"fig10_magnitude.tsv":         pointsTSV("seconds\tbytes_per_sec", r.Fig10.Magnitude),
+		"fig10_change_10s.tsv":        seriesTSV("idx\tnormalized_change", r.Fig10.Change10s),
+		"fig10_change_100s.tsv":       seriesTSV("idx\tnormalized_change", r.Fig10.Change100s),
+		"fig11_cluster_cdf.tsv":       pointsTSV("ms\tcdf", r.Fig11.ClusterCDF),
+		"fig11_tor_cdf.tsv":           pointsTSV("ms\tcdf", r.Fig11.TorCDF),
+		"fig11_server_cdf.tsv":        pointsTSV("ms\tcdf", r.Fig11.ServerCDF),
+		"fig12_tomogravity_rmsre.tsv": seriesTSV("tm\trmsre", r.Fig12.Tomogravity),
+		"fig12_jobs_rmsre.tsv":        seriesTSV("tm\trmsre", r.Fig12.TomogravityJobs),
+		"fig12_roles_rmsre.tsv":       seriesTSV("tm\trmsre", r.Fig12.TomogravityRoles),
+		"fig12_sparsity_rmsre.tsv":    seriesTSV("tm\trmsre", r.Fig12.SparsityMax),
+		"fig13_error_vs_sparsity.tsv": pointsTSV("truth_sparsity\trmsre", r.Fig13.Points),
+		"fig14_truth_cdf.tsv":         pointsTSV("frac_entries_75pct\tcdf", r.Fig14.TruthCDF),
+		"fig14_tomogravity_cdf.tsv":   pointsTSV("frac_entries_75pct\tcdf", r.Fig14.TomogravityCDF),
+		"fig14_jobs_cdf.tsv":          pointsTSV("frac_entries_75pct\tcdf", r.Fig14.JobsCDF),
+		"fig14_sparsity_cdf.tsv":      pointsTSV("frac_entries_75pct\tcdf", r.Fig14.SparsityCDF),
+		"fig02_heatmap.txt":           HeatASCII(r.Fig2.TM, 60),
+		"fig05_episodes.tsv":          r.episodesTSV(),
+		"fig08_impact.tsv":            r.impactTSV(),
+		"summary.txt":                 r.Text(),
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return fmt.Errorf("core: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func pointsTSV(header string, pts []stats.Point) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%g\t%g\n", p.X, p.Y)
+	}
+	return b.String()
+}
+
+func seriesTSV(header string, xs []float64) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for i, x := range xs {
+		fmt.Fprintf(&b, "%d\t%g\n", i, x)
+	}
+	return b.String()
+}
+
+// episodesTSV dumps Figure 5's raw episodes: link, start, duration.
+func (r *Report) episodesTSV() string {
+	var b strings.Builder
+	b.WriteString("link\tstart_s\tduration_s\n")
+	for _, e := range r.Fig5.Episodes {
+		fmt.Fprintf(&b, "%d\t%g\t%g\n", e.Link, e.Start.Seconds(), e.Duration().Seconds())
+	}
+	return b.String()
+}
+
+// impactTSV dumps Figure 8's per-period data.
+func (r *Report) impactTSV() string {
+	var b strings.Builder
+	b.WriteString("period\tcongested_reads\tclear_reads\tp_fail_congested\tp_fail_clear\tincrease_pct\n")
+	for _, d := range r.Fig8.Days {
+		fmt.Fprintf(&b, "%d\t%d\t%d\t%g\t%g\t%g\n",
+			d.Day, d.CongestedReads, d.ClearReads, d.PFailCongested, d.PFailClear, d.IncreasePct)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+func TestWriteTSV(t *testing.T) {
+	_, rep := smallRun(t)
+	dir := t.TempDir()
+	if err := rep.WriteTSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 25 {
+		t.Fatalf("only %d files written", len(entries))
+	}
+	// Spot-check a CDF file: header plus monotone data.
+	data, err := os.ReadFile(filepath.Join(dir, "fig09_byflows_cdf.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("fig09 file too short: %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "seconds\tcdf") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// Episodes file parses.
+	data, err = os.ReadFile(filepath.Join(dir, "fig05_episodes.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "link\tstart_s\tduration_s") {
+		t.Fatal("episodes header wrong")
+	}
+	// Summary text included for humans.
+	data, err = os.ReadFile(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Fig 12") {
+		t.Fatal("summary.txt incomplete")
+	}
+}
+
+func TestWriteTSVBadDir(t *testing.T) {
+	_, rep := smallRun(t)
+	if err := rep.WriteTSV("/proc/definitely/not/writable"); err == nil {
+		t.Fatal("expected error for unwritable dir")
+	}
+}
+
+func TestApplyDefaults(t *testing.T) {
+	// Long run: paper-style defaults.
+	o := AnalyzeOptions{}.ApplyDefaults(48 * 3600 * 1e9)
+	if o.Fig8Period != 24*3600*1e9 {
+		t.Fatalf("long-run Fig8Period = %v, want a day", o.Fig8Period)
+	}
+	if o.TomoBin != 600*1e9 {
+		t.Fatalf("long-run TomoBin = %v, want 10m", o.TomoBin)
+	}
+	// Short run: periods shrink.
+	o = AnalyzeOptions{}.ApplyDefaults(3600 * 1e9)
+	if o.Fig8Period != 3600*1e9/8 {
+		t.Fatalf("short-run Fig8Period = %v", o.Fig8Period)
+	}
+	if o.TomoBin != 3600*1e9/12 {
+		t.Fatalf("short-run TomoBin = %v", o.TomoBin)
+	}
+	// Explicit values survive.
+	o = AnalyzeOptions{CongestionThreshold: 0.9, TomoMaxTMs: 7}.ApplyDefaults(3600 * 1e9)
+	if o.CongestionThreshold != 0.9 || o.TomoMaxTMs != 7 {
+		t.Fatal("explicit options were overwritten")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	_, rep := smallRun(t)
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Headline
+	if err := jsonUnmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ConnectionCap != 2 {
+		t.Fatalf("connection cap %d in JSON, want 2", h.ConnectionCap)
+	}
+	if h.FracFlowsUnder10s <= 0 || h.PZeroAcrossRack <= 0 {
+		t.Fatalf("headline fields empty: %+v", h)
+	}
+}

@@ -1,0 +1,395 @@
+// Package cosmos models the replicated block-store layer of the paper's
+// cluster: all job inputs and outputs live in fixed-size extents, each
+// replicated (default three ways) across the same commodity servers that
+// run computation. Replica placement is rack-aware in the GFS style — one
+// replica near the writer, one elsewhere in the writer's rack, one in a
+// different rack — which is one of the two structural reasons traffic is
+// rack-local (the other being locality-aware vertex placement).
+//
+// The paper attributes several traffic sources directly to this layer:
+// flow sizes "determined largely by chunking considerations", replica
+// creation, and evacuation events when flaky servers are drained.
+//
+// The store is a pure placement bookkeeper: it decides where replicas live
+// and which transfers are needed, and the cluster layer turns those
+// decisions into simulated flows.
+package cosmos
+
+import (
+	"fmt"
+
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// ExtentID identifies an extent.
+type ExtentID int64
+
+// Extent is one replicated chunk of a dataset.
+type Extent struct {
+	ID       ExtentID
+	Bytes    int64
+	Replicas []topology.ServerID // first is the primary
+}
+
+// HasReplica reports whether server s holds a replica.
+func (e *Extent) HasReplica(s topology.ServerID) bool {
+	for _, r := range e.Replicas {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Dataset is a named ordered collection of extents (a stored stream).
+type Dataset struct {
+	Name    string
+	Extents []ExtentID
+}
+
+// Transfer is a byte movement the store needs performed (replication or
+// evacuation). The cluster layer executes transfers as flows and calls
+// Store.CommitTransfer when they complete.
+type Transfer struct {
+	Extent   ExtentID
+	Src, Dst topology.ServerID
+	Bytes    int64
+}
+
+// Config tunes the store.
+type Config struct {
+	ReplicationFactor int   // default 3
+	ExtentBytes       int64 // default 256 MB, the chunking unit
+}
+
+// DefaultConfig returns production-like defaults.
+func DefaultConfig() Config {
+	return Config{ReplicationFactor: 3, ExtentBytes: 256 << 20}
+}
+
+// Store tracks extent placement across the cluster.
+type Store struct {
+	top      *topology.Topology
+	cfg      Config
+	rng      *stats.RNG
+	extents  map[ExtentID]*Extent
+	byServer map[topology.ServerID]map[ExtentID]bool
+	datasets map[string]*Dataset
+	nextID   ExtentID
+}
+
+// NewStore creates an empty store over the topology. rng drives placement
+// randomization.
+func NewStore(top *topology.Topology, cfg Config, rng *stats.RNG) *Store {
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.ExtentBytes <= 0 {
+		cfg.ExtentBytes = 256 << 20
+	}
+	if cfg.ReplicationFactor > top.NumServers() {
+		cfg.ReplicationFactor = top.NumServers()
+	}
+	return &Store{
+		top:      top,
+		cfg:      cfg,
+		rng:      rng,
+		extents:  make(map[ExtentID]*Extent),
+		byServer: make(map[topology.ServerID]map[ExtentID]bool),
+		datasets: make(map[string]*Dataset),
+	}
+}
+
+// Config returns the store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// NumExtents reports the number of stored extents.
+func (s *Store) NumExtents() int { return len(s.extents) }
+
+// Extent returns the extent with the given id, or nil.
+func (s *Store) Extent(id ExtentID) *Extent { return s.extents[id] }
+
+// Dataset returns the dataset with the given name, or nil.
+func (s *Store) Dataset(name string) *Dataset { return s.datasets[name] }
+
+// ServerExtents returns the ids of extents with a replica on s.
+func (s *Store) ServerExtents(srv topology.ServerID) []ExtentID {
+	m := s.byServer[srv]
+	out := make([]ExtentID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ServerBytes reports the bytes of replica data held by a server.
+func (s *Store) ServerBytes(srv topology.ServerID) int64 {
+	var total int64
+	for id := range s.byServer[srv] {
+		total += s.extents[id].Bytes
+	}
+	return total
+}
+
+// CreateExtent allocates an extent of the given size with its primary
+// replica on (or near) preferred, plus rack-aware secondaries. Pass -1 to
+// let the store pick a random primary. Only the primary replica is
+// materialized; PendingReplications returns the transfers needed to build
+// the secondaries, which the caller executes and commits.
+func (s *Store) CreateExtent(bytes int64, preferred topology.ServerID) (*Extent, []Transfer) {
+	if bytes <= 0 {
+		panic("cosmos: extent size must be positive")
+	}
+	primary := preferred
+	if primary < 0 || int(primary) >= s.top.NumServers() {
+		primary = topology.ServerID(s.rng.IntN(s.top.NumServers()))
+	}
+	e := &Extent{ID: s.nextID, Bytes: bytes, Replicas: []topology.ServerID{primary}}
+	s.nextID++
+	s.extents[e.ID] = e
+	s.index(primary, e.ID)
+
+	var transfers []Transfer
+	for 1+len(transfers) < s.cfg.ReplicationFactor {
+		dst := s.pickReplicaTarget(e, 1+len(transfers))
+		if dst < 0 {
+			break
+		}
+		transfers = append(transfers, Transfer{Extent: e.ID, Src: primary, Dst: dst, Bytes: bytes})
+		// Reserve so subsequent picks avoid it; un-reserved below.
+		e.Replicas = append(e.Replicas, dst)
+	}
+	// Un-reserve: replicas materialize only on CommitTransfer.
+	e.Replicas = e.Replicas[:1]
+	return e, transfers
+}
+
+// pickReplicaTarget chooses the n-th replica location: n==1 same rack as
+// primary, n>=2 a different rack. Returns -1 when no candidate exists.
+func (s *Store) pickReplicaTarget(e *Extent, n int) topology.ServerID {
+	primary := e.Replicas[0]
+	rack := s.top.Rack(primary)
+	tryPick := func(candidates []topology.ServerID) topology.ServerID {
+		// Random start, linear probe over candidates avoiding existing
+		// replicas.
+		if len(candidates) == 0 {
+			return -1
+		}
+		start := s.rng.IntN(len(candidates))
+		for i := 0; i < len(candidates); i++ {
+			c := candidates[(start+i)%len(candidates)]
+			if !e.HasReplica(c) {
+				return c
+			}
+		}
+		return -1
+	}
+	if n == 1 {
+		if c := tryPick(s.top.RackServers(rack)); c >= 0 {
+			return c
+		}
+	}
+	// Different rack: sample random racks.
+	for attempt := 0; attempt < 8; attempt++ {
+		r := topology.RackID(s.rng.IntN(s.top.NumRacks()))
+		if r == rack {
+			continue
+		}
+		if c := tryPick(s.top.RackServers(r)); c >= 0 {
+			return c
+		}
+	}
+	// Fall back to any server.
+	all := make([]topology.ServerID, s.top.NumServers())
+	for i := range all {
+		all[i] = topology.ServerID(i)
+	}
+	return tryPick(all)
+}
+
+// CommitTransfer records that a replication/evacuation transfer finished:
+// the destination now holds a replica.
+func (s *Store) CommitTransfer(t Transfer) error {
+	e := s.extents[t.Extent]
+	if e == nil {
+		return fmt.Errorf("cosmos: commit for unknown extent %d", t.Extent)
+	}
+	if e.HasReplica(t.Dst) {
+		return nil // idempotent
+	}
+	e.Replicas = append(e.Replicas, t.Dst)
+	s.index(t.Dst, e.ID)
+	return nil
+}
+
+// DropReplica removes the replica of extent id held by srv (used after an
+// evacuated server's data has been copied away).
+func (s *Store) DropReplica(id ExtentID, srv topology.ServerID) {
+	e := s.extents[id]
+	if e == nil {
+		return
+	}
+	for i, r := range e.Replicas {
+		if r == srv {
+			e.Replicas = append(e.Replicas[:i], e.Replicas[i+1:]...)
+			break
+		}
+	}
+	if m := s.byServer[srv]; m != nil {
+		delete(m, id)
+	}
+}
+
+// PickReplica returns the replica of e a reader on srv should fetch from,
+// preferring local, then same-rack, then same-VLAN, then any replica.
+// It returns (-1, false) when the extent has no replicas.
+func (s *Store) PickReplica(e *Extent, reader topology.ServerID) (topology.ServerID, bool) {
+	if len(e.Replicas) == 0 {
+		return -1, false
+	}
+	var sameRack, sameVLAN topology.ServerID = -1, -1
+	for _, r := range e.Replicas {
+		if r == reader {
+			return r, true
+		}
+		if sameRack < 0 && s.top.SameRack(reader, r) {
+			sameRack = r
+		}
+		if sameVLAN < 0 && s.top.SameVLAN(reader, r) {
+			sameVLAN = r
+		}
+	}
+	if sameRack >= 0 {
+		return sameRack, true
+	}
+	if sameVLAN >= 0 {
+		return sameVLAN, true
+	}
+	return e.Replicas[s.rng.IntN(len(e.Replicas))], true
+}
+
+// CreateDataset stores a dataset of totalBytes split into extent-sized
+// chunks, spread across the cluster with random primaries. It returns the
+// dataset and the replication transfers needed (already-committed
+// primaries hold the data; callers may execute transfers lazily or commit
+// them immediately for pre-existing data).
+func (s *Store) CreateDataset(name string, totalBytes int64) (*Dataset, []Transfer) {
+	if totalBytes <= 0 {
+		panic("cosmos: dataset size must be positive")
+	}
+	d := &Dataset{Name: name}
+	var transfers []Transfer
+	for remaining := totalBytes; remaining > 0; {
+		sz := s.cfg.ExtentBytes
+		if remaining < sz {
+			sz = remaining
+		}
+		e, tr := s.CreateExtent(sz, -1)
+		d.Extents = append(d.Extents, e.ID)
+		transfers = append(transfers, tr...)
+		remaining -= sz
+	}
+	s.datasets[name] = d
+	return d, transfers
+}
+
+// SeedDataset creates a dataset whose replicas are fully materialized
+// without network transfers — the state of data that was ingested before
+// the measured window.
+func (s *Store) SeedDataset(name string, totalBytes int64) *Dataset {
+	d, transfers := s.CreateDataset(name, totalBytes)
+	for _, t := range transfers {
+		if err := s.CommitTransfer(t); err != nil {
+			panic(err) // transfers we just created cannot be unknown
+		}
+	}
+	return d
+}
+
+// SeedDatasetNear creates a fully-replicated dataset whose primary
+// replicas are concentrated on the given racks. Real cluster data has this
+// shape: it was written locally by the co-located vertices of earlier jobs,
+// which is what makes subsequent work able to seek bandwidth near its
+// input.
+func (s *Store) SeedDatasetNear(name string, totalBytes int64, racks []topology.RackID) *Dataset {
+	if len(racks) == 0 {
+		return s.SeedDataset(name, totalBytes)
+	}
+	if totalBytes <= 0 {
+		panic("cosmos: dataset size must be positive")
+	}
+	d := &Dataset{Name: name}
+	for remaining := totalBytes; remaining > 0; {
+		sz := s.cfg.ExtentBytes
+		if remaining < sz {
+			sz = remaining
+		}
+		rack := racks[s.rng.IntN(len(racks))]
+		servers := s.top.RackServers(rack)
+		preferred := servers[s.rng.IntN(len(servers))]
+		e, transfers := s.CreateExtent(sz, preferred)
+		for _, t := range transfers {
+			if err := s.CommitTransfer(t); err != nil {
+				panic(err)
+			}
+		}
+		d.Extents = append(d.Extents, e.ID)
+		remaining -= sz
+	}
+	s.datasets[name] = d
+	return d
+}
+
+// Evacuate plans the drain of a server: every replica it holds must be
+// copied to another server before the machine is re-imaged. The returned
+// transfers source from the evacuating server (it is still up, and the
+// automated management system copies "the usable blocks on that server").
+// Call CommitTransfer then DropReplica as each completes.
+func (s *Store) Evacuate(srv topology.ServerID) []Transfer {
+	var out []Transfer
+	for id := range s.byServer[srv] {
+		e := s.extents[id]
+		dst := s.pickEvacTarget(e, srv)
+		if dst < 0 {
+			continue
+		}
+		out = append(out, Transfer{Extent: id, Src: srv, Dst: dst, Bytes: e.Bytes})
+	}
+	return out
+}
+
+// pickEvacTarget finds a server not already holding a replica, preferring
+// a rack other than the evacuating server's (re-creating the diversity the
+// lost replica provided).
+func (s *Store) pickEvacTarget(e *Extent, leaving topology.ServerID) topology.ServerID {
+	for attempt := 0; attempt < 16; attempt++ {
+		c := topology.ServerID(s.rng.IntN(s.top.NumServers()))
+		if c == leaving || e.HasReplica(c) {
+			continue
+		}
+		if attempt < 8 && s.top.SameRack(c, leaving) {
+			continue
+		}
+		return c
+	}
+	return -1
+}
+
+// DatasetBytes reports the logical (un-replicated) size of a dataset.
+func (s *Store) DatasetBytes(d *Dataset) int64 {
+	var total int64
+	for _, id := range d.Extents {
+		total += s.extents[id].Bytes
+	}
+	return total
+}
+
+func (s *Store) index(srv topology.ServerID, id ExtentID) {
+	m := s.byServer[srv]
+	if m == nil {
+		m = make(map[ExtentID]bool)
+		s.byServer[srv] = m
+	}
+	m[id] = true
+}

@@ -1,0 +1,326 @@
+package cosmos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	top := topology.MustNew(topology.SmallConfig())
+	return NewStore(top, DefaultConfig(), stats.NewRNG(1))
+}
+
+func TestCreateExtentPlacement(t *testing.T) {
+	s := newStore(t)
+	e, transfers := s.CreateExtent(1<<20, 5)
+	if e.Replicas[0] != 5 {
+		t.Fatalf("primary = %d, want 5", e.Replicas[0])
+	}
+	if len(transfers) != 2 {
+		t.Fatalf("got %d replication transfers, want 2", len(transfers))
+	}
+	top := topology.MustNew(topology.SmallConfig())
+	// Second replica in the same rack, third in a different rack.
+	if top.Rack(transfers[0].Dst) != top.Rack(5) {
+		t.Errorf("second replica rack %d, want same rack as primary", top.Rack(transfers[0].Dst))
+	}
+	if top.Rack(transfers[1].Dst) == top.Rack(5) {
+		t.Errorf("third replica should be off-rack")
+	}
+	// Replicas materialize only on commit.
+	if len(e.Replicas) != 1 {
+		t.Fatalf("uncommitted extent has %d replicas", len(e.Replicas))
+	}
+	for _, tr := range transfers {
+		if err := s.CommitTransfer(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.Replicas) != 3 {
+		t.Fatalf("committed extent has %d replicas, want 3", len(e.Replicas))
+	}
+}
+
+func TestCreateExtentRandomPrimary(t *testing.T) {
+	s := newStore(t)
+	e, _ := s.CreateExtent(100, -1)
+	if e.Replicas[0] < 0 || int(e.Replicas[0]) >= 80 {
+		t.Fatalf("random primary %d out of range", e.Replicas[0])
+	}
+}
+
+func TestCreateExtentPanicsOnZeroBytes(t *testing.T) {
+	s := newStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.CreateExtent(0, 0)
+}
+
+func TestCommitTransferIdempotent(t *testing.T) {
+	s := newStore(t)
+	_, transfers := s.CreateExtent(100, 0)
+	if err := s.CommitTransfer(transfers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitTransfer(transfers[0]); err != nil {
+		t.Fatal(err)
+	}
+	e := s.Extent(transfers[0].Extent)
+	if len(e.Replicas) != 2 {
+		t.Fatalf("double commit duplicated replica: %v", e.Replicas)
+	}
+	if err := s.CommitTransfer(Transfer{Extent: 999}); err == nil {
+		t.Fatal("commit of unknown extent should fail")
+	}
+}
+
+func TestPickReplicaPreference(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	s := NewStore(top, DefaultConfig(), stats.NewRNG(2))
+	e := &Extent{ID: 1, Bytes: 100, Replicas: []topology.ServerID{0, 11, 45}}
+	// Reader holds a replica: local wins.
+	if r, ok := s.PickReplica(e, 11); !ok || r != 11 {
+		t.Fatalf("local replica not preferred: %v", r)
+	}
+	// Reader in rack 0 (servers 0-9): same-rack replica 0 wins.
+	if r, ok := s.PickReplica(e, 3); !ok || r != 0 {
+		t.Fatalf("same-rack replica not preferred: %v", r)
+	}
+	// Reader in rack 1 (10-19): replica 11 shares the rack.
+	if r, ok := s.PickReplica(e, 15); !ok || r != 11 {
+		t.Fatalf("same-rack replica not preferred: %v", r)
+	}
+	// Reader in rack 4 (40-49): replica 45 shares the rack.
+	if r, ok := s.PickReplica(e, 42); !ok || r != 45 {
+		t.Fatalf("same-rack replica not preferred: %v", r)
+	}
+	// No replicas.
+	if _, ok := s.PickReplica(&Extent{}, 0); ok {
+		t.Fatal("empty extent should have no replica")
+	}
+}
+
+func TestPickReplicaVLANFallback(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig()) // RacksPerVLAN=2
+	s := NewStore(top, DefaultConfig(), stats.NewRNG(3))
+	// Replica on rack 1; reader on rack 0 (same VLAN), other replica rack 5.
+	e := &Extent{ID: 1, Bytes: 100, Replicas: []topology.ServerID{55, 12}}
+	if r, ok := s.PickReplica(e, 2); !ok || r != 12 {
+		t.Fatalf("same-VLAN replica not preferred: %v", r)
+	}
+}
+
+func TestSeedDatasetFullyReplicated(t *testing.T) {
+	s := newStore(t)
+	d := s.SeedDataset("web-pages", 5<<28) // 5 extents of 256 MB
+	if len(d.Extents) != 5 {
+		t.Fatalf("dataset has %d extents, want 5", len(d.Extents))
+	}
+	for _, id := range d.Extents {
+		e := s.Extent(id)
+		if len(e.Replicas) != 3 {
+			t.Fatalf("extent %d has %d replicas, want 3", id, len(e.Replicas))
+		}
+	}
+	if s.Dataset("web-pages") != d {
+		t.Fatal("dataset not registered")
+	}
+	if got := s.DatasetBytes(d); got != 5<<28 {
+		t.Fatalf("DatasetBytes = %d", got)
+	}
+}
+
+func TestCreateDatasetTailExtent(t *testing.T) {
+	s := newStore(t)
+	d, _ := s.CreateDataset("tail", (256<<20)+100)
+	if len(d.Extents) != 2 {
+		t.Fatalf("dataset has %d extents, want 2", len(d.Extents))
+	}
+	if s.Extent(d.Extents[1]).Bytes != 100 {
+		t.Fatalf("tail extent = %d bytes, want 100", s.Extent(d.Extents[1]).Bytes)
+	}
+}
+
+func TestServerIndexes(t *testing.T) {
+	s := newStore(t)
+	d := s.SeedDataset("x", 1<<28)
+	var total int64
+	for srv := 0; srv < 80; srv++ {
+		total += s.ServerBytes(topology.ServerID(srv))
+	}
+	want := s.DatasetBytes(d) * 3 // replication factor
+	if total != want {
+		t.Fatalf("sum of server bytes %d, want %d", total, want)
+	}
+}
+
+func TestEvacuate(t *testing.T) {
+	s := newStore(t)
+	s.SeedDataset("big", 20<<28)
+	// Find a server holding data.
+	var victim topology.ServerID = -1
+	for srv := 0; srv < 80; srv++ {
+		if s.ServerBytes(topology.ServerID(srv)) > 0 {
+			victim = topology.ServerID(srv)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no server holds data")
+	}
+	held := len(s.ServerExtents(victim))
+	transfers := s.Evacuate(victim)
+	if len(transfers) != held {
+		t.Fatalf("evacuation plans %d transfers for %d extents", len(transfers), held)
+	}
+	for _, tr := range transfers {
+		if tr.Src != victim {
+			t.Fatalf("evacuation transfer sources from %d, want %d", tr.Src, victim)
+		}
+		if tr.Dst == victim || s.Extent(tr.Extent).HasReplica(tr.Dst) {
+			t.Fatalf("bad evacuation target %d", tr.Dst)
+		}
+		if err := s.CommitTransfer(tr); err != nil {
+			t.Fatal(err)
+		}
+		s.DropReplica(tr.Extent, victim)
+	}
+	if got := s.ServerBytes(victim); got != 0 {
+		t.Fatalf("victim still holds %d bytes after evacuation", got)
+	}
+	// Replication factor restored.
+	for _, tr := range transfers {
+		if n := len(s.Extent(tr.Extent).Replicas); n != 3 {
+			t.Fatalf("extent %d has %d replicas after evacuation", tr.Extent, n)
+		}
+	}
+}
+
+func TestDropReplicaUnknownExtentNoop(t *testing.T) {
+	s := newStore(t)
+	s.DropReplica(12345, 0) // must not panic
+}
+
+// Property: replicas of any committed extent are distinct servers, and the
+// replication factor never exceeds the configured one.
+func TestReplicaInvariantsProperty(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	f := func(seed uint64) bool {
+		s := NewStore(top, DefaultConfig(), stats.NewRNG(seed))
+		r := stats.NewRNG(seed + 1)
+		for i := 0; i < 20; i++ {
+			pref := topology.ServerID(r.IntN(top.NumServers()))
+			e, trs := s.CreateExtent(int64(1+r.IntN(1<<20)), pref)
+			for _, tr := range trs {
+				if err := s.CommitTransfer(tr); err != nil {
+					return false
+				}
+			}
+			if len(e.Replicas) > 3 {
+				return false
+			}
+			seen := map[topology.ServerID]bool{}
+			for _, rep := range e.Replicas {
+				if seen[rep] || int(rep) >= top.NumServers() || rep < 0 {
+					return false
+				}
+				seen[rep] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyClusterReplication(t *testing.T) {
+	// Replication factor is clamped to the cluster size.
+	top := topology.MustNew(topology.Config{
+		Racks: 1, ServersPerRack: 2, AggSwitches: 1, RacksPerVLAN: 1,
+		ServerLinkBps: 1e9, TorUplinkBps: 1e9, AggUplinkBps: 1e9,
+	})
+	s := NewStore(top, DefaultConfig(), stats.NewRNG(5))
+	if s.Config().ReplicationFactor != 2 {
+		t.Fatalf("replication factor %d, want clamped 2", s.Config().ReplicationFactor)
+	}
+	d := s.SeedDataset("t", 100)
+	e := s.Extent(d.Extents[0])
+	if len(e.Replicas) != 2 {
+		t.Fatalf("replicas = %v", e.Replicas)
+	}
+}
+
+func TestPickReplicaRandomFallback(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	s := NewStore(top, DefaultConfig(), stats.NewRNG(9))
+	// Replicas far from the reader's rack AND VLAN: random pick among them.
+	e := &Extent{ID: 1, Bytes: 1, Replicas: []topology.ServerID{60, 70}}
+	seen := map[topology.ServerID]bool{}
+	for i := 0; i < 50; i++ {
+		r, ok := s.PickReplica(e, 5) // rack 0, VLAN 0
+		if !ok || (r != 60 && r != 70) {
+			t.Fatalf("bad pick %v", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != 2 {
+		t.Fatal("random fallback never varied")
+	}
+}
+
+func TestCreateDatasetPanicsOnZero(t *testing.T) {
+	s := newStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.CreateDataset("zero", 0)
+}
+
+func TestSeedDatasetNearEmptyRacksFallsBack(t *testing.T) {
+	s := newStore(t)
+	d := s.SeedDatasetNear("fb", 1<<20, nil)
+	if d == nil || len(d.Extents) != 1 {
+		t.Fatal("nil racks should fall back to SeedDataset")
+	}
+}
+
+func TestSeedDatasetNearPanicsOnZeroBytes(t *testing.T) {
+	s := newStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.SeedDatasetNear("z", 0, []topology.RackID{0})
+}
+
+func TestNumExtentsAndServerExtents(t *testing.T) {
+	s := newStore(t)
+	before := s.NumExtents()
+	e, _ := s.CreateExtent(100, 3)
+	if s.NumExtents() != before+1 {
+		t.Fatal("NumExtents did not grow")
+	}
+	found := false
+	for _, id := range s.ServerExtents(3) {
+		if id == e.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("primary not indexed under its server")
+	}
+	if s.Extent(99999) != nil {
+		t.Fatal("unknown extent should be nil")
+	}
+}

@@ -1,0 +1,184 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a solve encounters a (numerically) singular
+// system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// SolveLU solves a·x = b for square a using Gaussian elimination with
+// partial pivoting. a and b are not modified.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: SolveLU needs a square system")
+	}
+	// Augmented working copy.
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p, best := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[p*n+j] = m.Data[p*n+j], m.Data[col*n+j]
+			}
+			x[col], x[p] = x[p], x[col]
+		}
+		piv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Data[r*n+j] -= f * m.Data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves a·x = b for a symmetric positive-definite a via Cholesky
+// factorization. A tiny ridge (lambda) may be passed to regularize
+// near-singular systems; pass 0 for none. a and b are not modified.
+func SolveSPD(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: SolveSPD needs a square system")
+	}
+	// Cholesky: a = L·Lᵀ, L lower-triangular stored densely.
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			if i == j {
+				s += lambda
+			}
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, j, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// WLSProject solves the equality-constrained weighted least squares problem
+//
+//	minimize   Σ (x_j − g_j)² / w_j
+//	subject to A·x = b
+//
+// whose closed form is x = g + W·Aᵀ·(A·W·Aᵀ)⁻¹·(b − A·g) with W = diag(w).
+// This is the adjustment step of tomogravity (Zhang et al.): g is the
+// gravity prior, w the per-entry confidence (typically w = g), and A·x = b
+// the link-counter constraints. Zero or negative weights are clamped to a
+// small positive floor so entries the prior believes are zero can still
+// move a little to satisfy the constraints.
+//
+// The result may contain small negative entries; callers typically clamp to
+// zero afterwards (ClampNonNeg).
+func WLSProject(a *Matrix, b, g, w []float64) ([]float64, error) {
+	if a.Cols != len(g) || a.Cols != len(w) || a.Rows != len(b) {
+		panic("linalg: WLSProject dim mismatch")
+	}
+	const wFloor = 1e-9
+	wc := make([]float64, len(w))
+	for i, v := range w {
+		if v < wFloor {
+			v = wFloor
+		}
+		wc[i] = v
+	}
+	// r = b − A·g
+	r := Sub(b, a.MulVec(g))
+	// M = A·W·Aᵀ  (m×m, m = number of constraints)
+	aw := a.MulDiagRight(wc)
+	m := aw.Mul(a.T())
+	// Solve M·y = r with a small ridge for numerical safety: link-count
+	// constraint sets routinely contain redundant rows (e.g. sum of ToR
+	// uplinks equals sum of core downlinks), which make M singular.
+	ridge := 1e-8 * traceOf(m) / float64(m.Rows)
+	if ridge <= 0 {
+		ridge = 1e-12
+	}
+	y, err := SolveSPD(m, r, ridge)
+	if err != nil {
+		return nil, err
+	}
+	// x = g + W·Aᵀ·y
+	x := append([]float64(nil), g...)
+	at := a.T()
+	wy := at.MulVec(y)
+	for j := range x {
+		x[j] += wc[j] * wy[j]
+	}
+	return x, nil
+}
+
+func traceOf(m *Matrix) float64 {
+	t := 0.0
+	for i := 0; i < m.Rows && i < m.Cols; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// ClampNonNeg zeroes negative entries of v in place and returns v.
+func ClampNonNeg(v []float64) []float64 {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// BenchmarkFlowChurn measures simulator throughput in flows completed per
+// benchmark op: a churning mix of small and medium flows on the small
+// topology with exact rate recomputation.
+func BenchmarkFlowChurn(b *testing.B) {
+	top := topology.MustNew(topology.SmallConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := New(top, Options{})
+		r := stats.NewRNG(uint64(i))
+		for f := 0; f < 1000; f++ {
+			src := topology.ServerID(r.IntN(top.NumHosts()))
+			dst := topology.ServerID(r.IntN(top.NumHosts()))
+			n.After(Time(r.IntN(1000))*time.Millisecond, func() {
+				n.StartFlow(src, dst, int64(1+r.IntN(4_000_000)), FlowTag{}, nil)
+			})
+		}
+		n.RunAll()
+		if n.FlowsCompleted() != 1000 {
+			b.Fatal("flows lost")
+		}
+	}
+}
+
+// BenchmarkFlowChurnBatched is the same workload under 10 ms rate
+// batching — the configuration used for day-scale runs.
+func BenchmarkFlowChurnBatched(b *testing.B) {
+	top := topology.MustNew(topology.SmallConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := New(top, Options{MinRecomputeInterval: 10 * time.Millisecond})
+		r := stats.NewRNG(uint64(i))
+		for f := 0; f < 1000; f++ {
+			src := topology.ServerID(r.IntN(top.NumHosts()))
+			dst := topology.ServerID(r.IntN(top.NumHosts()))
+			n.After(Time(r.IntN(1000))*time.Millisecond, func() {
+				n.StartFlow(src, dst, int64(1+r.IntN(4_000_000)), FlowTag{}, nil)
+			})
+		}
+		n.RunAll()
+	}
+}
+
+// BenchmarkMaxMinRecompute isolates the progressive-filling allocation
+// with 500 concurrent flows.
+func BenchmarkMaxMinRecompute(b *testing.B) {
+	top := topology.MustNew(topology.SmallConfig())
+	n := New(top, Options{})
+	r := stats.NewRNG(1)
+	for f := 0; f < 500; f++ {
+		src := topology.ServerID(r.IntN(top.NumHosts()))
+		dst := topology.ServerID(r.IntN(top.NumHosts()))
+		n.StartFlow(src, dst, 1<<40, FlowTag{}, nil) // effectively infinite
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.recomputeRates()
+	}
+}

@@ -1,0 +1,419 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"dctraffic/internal/topology"
+)
+
+// Options tunes the network simulator. The zero value is usable; see the
+// field comments for defaults.
+type Options struct {
+	// MinRecomputeInterval batches rate recomputation: bandwidth shares
+	// are recomputed at most once per interval even under heavy flow
+	// churn. Zero recomputes on every arrival and completion (exact
+	// fluid model). Large simulations use ~10ms.
+	MinRecomputeInterval Time
+
+	// LocalBps is the transfer speed of loopback flows (src == dst),
+	// which model local disk reads and never touch the fabric.
+	// Default 8 Gbps.
+	LocalBps float64
+
+	// StatsBinSize enables per-link byte accounting in bins of this
+	// size (the SNMP-like counters used by congestion analysis and
+	// tomography). Zero disables binned stats; totals are always kept.
+	StatsBinSize Time
+
+	// StatsLinks selects which links are binned. Nil tracks the
+	// inter-switch links (the paper's congestion link set) plus all
+	// server up/downlinks when the topology is small (<= 512 hosts).
+	StatsLinks []topology.LinkID
+}
+
+// Observer receives flow lifecycle notifications. The instrumentation
+// layer (internal/trace) implements this to build socket-level logs.
+type Observer interface {
+	FlowStarted(*Flow)
+	FlowEnded(*Flow)
+}
+
+// Network simulates fluid flows over a topology. Create with New; drive by
+// scheduling workload events on the embedded Sim and calling Run.
+type Network struct {
+	Sim
+	top  *topology.Topology
+	opts Options
+
+	active   []*Flow
+	nextID   FlowID
+	nextPort uint16
+
+	linkCapB  []float64 // bytes/sec capacity per link
+	linkRateB []float64 // current aggregate bytes/sec per link
+	linkBytes []float64 // cumulative bytes per link
+
+	lastAdvance        Time
+	lastRecompute      Time
+	dirty              bool
+	recomputeScheduled bool
+	completionGen      uint64
+
+	observers []Observer
+	stats     *LinkStats
+
+	totalBytes     float64
+	flowsStarted   int64
+	flowsCompleted int64
+}
+
+// New builds a network over the topology.
+func New(top *topology.Topology, opts Options) *Network {
+	if opts.LocalBps <= 0 {
+		opts.LocalBps = 8e9
+	}
+	n := &Network{
+		top:       top,
+		opts:      opts,
+		linkCapB:  make([]float64, top.NumLinks()),
+		linkRateB: make([]float64, top.NumLinks()),
+		linkBytes: make([]float64, top.NumLinks()),
+	}
+	for _, l := range top.Links() {
+		n.linkCapB[l.ID] = l.CapacityBps / 8
+	}
+	if opts.StatsBinSize > 0 {
+		links := opts.StatsLinks
+		if links == nil {
+			links = top.InterSwitchLinks()
+			if top.NumHosts() <= 512 {
+				for s := 0; s < top.NumHosts(); s++ {
+					sid := topology.ServerID(s)
+					links = append(links, top.ServerUplink(sid), top.ServerDownlink(sid))
+				}
+			}
+		}
+		n.stats = newLinkStats(opts.StatsBinSize, top.NumLinks(), links)
+	}
+	return n
+}
+
+// Top returns the topology.
+func (n *Network) Top() *topology.Topology { return n.top }
+
+// AddObserver registers a flow lifecycle observer.
+func (n *Network) AddObserver(o Observer) { n.observers = append(n.observers, o) }
+
+// Stats returns the binned link statistics, or nil if disabled.
+func (n *Network) Stats() *LinkStats { return n.stats }
+
+// ActiveFlows reports the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// FlowsStarted reports the cumulative number of flows started.
+func (n *Network) FlowsStarted() int64 { return n.flowsStarted }
+
+// FlowsCompleted reports the cumulative number of flows completed.
+func (n *Network) FlowsCompleted() int64 { return n.flowsCompleted }
+
+// TotalBytes reports the cumulative bytes moved over the fabric and
+// loopback.
+func (n *Network) TotalBytes() float64 { return n.totalBytes }
+
+// LinkTotalBytes reports the cumulative bytes carried by a link.
+func (n *Network) LinkTotalBytes(id topology.LinkID) float64 { return n.linkBytes[id] }
+
+// StartFlow begins a transfer of bytes from src to dst and returns the
+// flow. done, if non-nil, runs when the transfer completes. A zero-byte
+// flow completes at the next simulation instant.
+func (n *Network) StartFlow(src, dst topology.ServerID, bytes int64, tag FlowTag, done func(*Flow)) *Flow {
+	if bytes < 0 {
+		panic("netsim: negative flow size")
+	}
+	n.nextPort++
+	if n.nextPort < 1024 {
+		n.nextPort = 1024
+	}
+	f := &Flow{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Bytes:     bytes,
+		Tag:       tag,
+		SrcPort:   n.nextPort,
+		DstPort:   443, // services listen on a well-known port
+		Start:     n.Now(),
+		path:      n.top.PathK(src, dst, uint64(n.nextID)),
+		remaining: float64(bytes),
+		done:      done,
+		idx:       len(n.active),
+	}
+	n.nextID++
+	n.flowsStarted++
+	n.active = append(n.active, f)
+	for _, o := range n.observers {
+		o.FlowStarted(f)
+	}
+	n.markDirty()
+	return f
+}
+
+// markDirty schedules a rate recomputation, batched by
+// MinRecomputeInterval.
+func (n *Network) markDirty() {
+	n.dirty = true
+	if n.recomputeScheduled {
+		return
+	}
+	at := n.Now()
+	if min := n.opts.MinRecomputeInterval; min > 0 && n.lastRecompute+min > at {
+		at = n.lastRecompute + min
+	}
+	n.recomputeScheduled = true
+	n.Schedule(at, n.recomputeEvent)
+}
+
+func (n *Network) recomputeEvent() {
+	n.recomputeScheduled = false
+	if !n.dirty {
+		return
+	}
+	n.dirty = false
+	n.step()
+}
+
+// step advances flow progress under the old rates, completes finished
+// flows, recomputes max-min shares, and schedules the next completion.
+func (n *Network) step() {
+	n.advance()
+	n.completeFinished()
+	n.recomputeRates()
+	n.scheduleNextCompletion()
+}
+
+// advance accrues progress and link bytes for the time since the last
+// advance, under the rates computed at that time.
+func (n *Network) advance() {
+	now := n.Now()
+	if now <= n.lastAdvance {
+		return
+	}
+	dt := (now - n.lastAdvance).Seconds()
+	for l, r := range n.linkRateB {
+		if r == 0 {
+			continue
+		}
+		n.linkBytes[l] += r * dt
+		if n.stats != nil {
+			n.stats.record(topology.LinkID(l), n.lastAdvance, now, r)
+		}
+	}
+	for _, f := range n.active {
+		if f.rate > 0 {
+			moved := f.rate * dt
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			n.totalBytes += moved
+		}
+	}
+	n.lastAdvance = now
+}
+
+// completeFinished retires flows whose remaining bytes reached zero.
+const finishEps = 1e-3 // bytes
+
+func (n *Network) completeFinished() {
+	var finished []*Flow
+	for i := 0; i < len(n.active); {
+		f := n.active[i]
+		if f.remaining <= finishEps {
+			f.remaining = 0
+			f.End = n.Now()
+			// Swap-remove, fixing the moved flow's index.
+			last := len(n.active) - 1
+			n.active[i] = n.active[last]
+			n.active[i].idx = i
+			n.active[last] = nil
+			n.active = n.active[:last]
+			f.idx = -1
+			finished = append(finished, f)
+			continue
+		}
+		i++
+	}
+	for _, f := range finished {
+		n.flowsCompleted++
+		for _, o := range n.observers {
+			o.FlowEnded(f)
+		}
+		if f.done != nil {
+			f.done(f)
+		}
+	}
+}
+
+// recomputeRates assigns max-min fair rates to all active flows by
+// progressive filling: repeatedly find the most-contended link, fix its
+// flows at the fair share, remove them, and continue.
+func (n *Network) recomputeRates() {
+	n.lastRecompute = n.Now()
+	for l := range n.linkRateB {
+		n.linkRateB[l] = 0
+	}
+	if len(n.active) == 0 {
+		return
+	}
+	localB := n.opts.LocalBps / 8
+
+	// Index flows per link; loopback flows get the local rate directly.
+	type linkState struct {
+		unfrozen int
+		alloc    float64
+	}
+	states := make(map[topology.LinkID]*linkState)
+	flowsOn := make(map[topology.LinkID][]*Flow)
+	var linkIDs []topology.LinkID // deterministic iteration order
+	unfrozen := 0
+	frozen := make(map[FlowID]bool, len(n.active))
+	for _, f := range n.active {
+		if len(f.path) == 0 {
+			f.rate = localB
+			frozen[f.ID] = true
+			continue
+		}
+		unfrozen++
+		for _, l := range f.path {
+			st := states[l]
+			if st == nil {
+				st = &linkState{}
+				states[l] = st
+				linkIDs = append(linkIDs, l)
+			}
+			st.unfrozen++
+			flowsOn[l] = append(flowsOn[l], f)
+		}
+	}
+	sort.Slice(linkIDs, func(i, j int) bool { return linkIDs[i] < linkIDs[j] })
+	for unfrozen > 0 {
+		// Find the bottleneck link: minimal fair share among links with
+		// unfrozen flows. Iterate in link-id order so tie-breaking (and
+		// therefore floating-point rounding) is deterministic.
+		var bottleneck topology.LinkID = -1
+		best := math.Inf(1)
+		for _, l := range linkIDs {
+			st := states[l]
+			if st.unfrozen == 0 {
+				continue
+			}
+			share := (n.linkCapB[l] - st.alloc) / float64(st.unfrozen)
+			if share < best {
+				best = share
+				bottleneck = l
+			}
+		}
+		if bottleneck < 0 {
+			break
+		}
+		if best < 0 {
+			best = 0
+		}
+		for _, f := range flowsOn[bottleneck] {
+			if frozen[f.ID] {
+				continue
+			}
+			frozen[f.ID] = true
+			unfrozen--
+			f.rate = best
+			for _, l := range f.path {
+				st := states[l]
+				st.unfrozen--
+				st.alloc += best
+			}
+		}
+	}
+	for l, st := range states {
+		n.linkRateB[l] = st.alloc
+	}
+}
+
+// scheduleNextCompletion arms a single timer for the earliest projected
+// flow completion; a generation counter invalidates stale timers.
+func (n *Network) scheduleNextCompletion() {
+	n.completionGen++
+	gen := n.completionGen
+	best := math.Inf(1)
+	for _, f := range n.active {
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < best {
+				best = t
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return
+	}
+	dt := Time(best * float64(time.Second))
+	dt++ // round up so the flow is strictly done when the timer fires
+	n.Schedule(n.Now()+dt, func() {
+		if gen != n.completionGen {
+			return
+		}
+		n.step()
+	})
+}
+
+// Cancel aborts an active flow: progress accounting is brought up to
+// date, the flow is retired with Canceled set and observers are notified
+// via FlowEnded. The completion callback IS invoked (with Canceled set)
+// so resource bookkeeping tied to the flow can unwind; callers must check
+// Flow.Canceled. Canceling an already-finished flow is a no-op.
+func (n *Network) Cancel(f *Flow) {
+	if !f.Active() {
+		return
+	}
+	n.advance()
+	last := len(n.active) - 1
+	i := f.idx
+	n.active[i] = n.active[last]
+	n.active[i].idx = i
+	n.active[last] = nil
+	n.active = n.active[:last]
+	f.idx = -1
+	f.Canceled = true
+	f.End = n.Now()
+	for _, o := range n.observers {
+		o.FlowEnded(f)
+	}
+	if f.done != nil {
+		f.done(f)
+	}
+	n.markDirty() // freed bandwidth reallocates
+}
+
+// CancelWhere aborts every active flow matching pred and reports how many
+// were canceled. Used by the job manager to reap a killed job's transfers.
+func (n *Network) CancelWhere(pred func(*Flow) bool) int {
+	// Collect first: Cancel mutates n.active.
+	var victims []*Flow
+	for _, f := range n.active {
+		if pred(f) {
+			victims = append(victims, f)
+		}
+	}
+	for _, f := range victims {
+		n.Cancel(f)
+	}
+	return len(victims)
+}
+
+// LinkRateBps reports the instantaneous allocated rate on a link in bits
+// per second (as of the last recomputation).
+func (n *Network) LinkRateBps(id topology.LinkID) float64 { return n.linkRateB[id] * 8 }
+
+// Flush advances accounting to the current time; call before reading
+// byte counters mid-run.
+func (n *Network) Flush() { n.advance() }

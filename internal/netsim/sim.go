@@ -1,0 +1,112 @@
+// Package netsim is a discrete-event, flow-level network simulator.
+//
+// It models the cluster fabric as directed links with capacities
+// (internal/topology) and active transfers as fluid flows that share link
+// bandwidth max-min fairly. This is the right granularity for reproducing
+// the paper: every reported quantity — byte counts between server pairs,
+// flow durations and rates, link utilization — is a fluid-level quantity.
+// Packet-level artifacts the paper explicitly did not observe (incast
+// collapse) are modeled by their preconditions, not by simulating TCP.
+//
+// The simulator is single-goroutine and deterministic: all behaviour is a
+// pure function of the scheduled events and the seed of whatever workload
+// drives it.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is simulation time, expressed as an offset from the start of the
+// run. Using time.Duration gives nanosecond resolution over ±292 years,
+// comfortably covering multi-day runs.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break for FIFO ordering of simultaneous events
+	fn  func()
+}
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is the discrete-event core: a clock and an ordered event queue.
+// Embed or compose it; the zero value is ready to use.
+type Sim struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Schedule runs fn at the given absolute simulation time. Events scheduled
+// in the past run at the current time (immediately, in order). Events at
+// equal times run in scheduling order.
+func (s *Sim) Schedule(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	heap.Push(&s.queue, &event{at: at, seq: s.nextSeq, fn: fn})
+	s.nextSeq++
+}
+
+// After runs fn after the given delay.
+func (s *Sim) After(d Time, fn func()) { s.Schedule(s.now+d, fn) }
+
+// Run processes events until the queue is empty or the clock would pass
+// until; it then sets the clock to until. Events exactly at until run.
+func (s *Sim) Run(until Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll processes every queued event regardless of time. Useful in tests.
+func (s *Sim) RunAll() {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// Stop makes the current Run/RunAll return after the executing event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimOrdering(t *testing.T) {
+	var s Sim
+	var got []int
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	s.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", s.Now())
+	}
+}
+
+func TestSimFIFOAtSameTime(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	var s Sim
+	ran := 0
+	s.Schedule(1*time.Second, func() { ran++ })
+	s.Schedule(5*time.Second, func() { ran++ })
+	s.Run(2 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run(10 * time.Second)
+	if ran != 2 || s.Now() != 10*time.Second {
+		t.Fatalf("ran=%d now=%v", ran, s.Now())
+	}
+}
+
+func TestSimEventAtBoundaryRuns(t *testing.T) {
+	var s Sim
+	ran := false
+	s.Schedule(2*time.Second, func() { ran = true })
+	s.Run(2 * time.Second)
+	if !ran {
+		t.Fatal("event exactly at the until boundary should run")
+	}
+}
+
+func TestSimAfter(t *testing.T) {
+	var s Sim
+	var at Time
+	s.Schedule(time.Second, func() {
+		s.After(500*time.Millisecond, func() { at = s.Now() })
+	})
+	s.RunAll()
+	if at != 1500*time.Millisecond {
+		t.Fatalf("After fired at %v, want 1.5s", at)
+	}
+}
+
+func TestSimPastEventsRunNow(t *testing.T) {
+	var s Sim
+	var at Time
+	s.Schedule(2*time.Second, func() {
+		s.Schedule(time.Second, func() { at = s.Now() }) // in the past
+	})
+	s.RunAll()
+	if at != 2*time.Second {
+		t.Fatalf("past event fired at %v, want 2s", at)
+	}
+}
+
+func TestSimStop(t *testing.T) {
+	var s Sim
+	ran := 0
+	s.Schedule(1*time.Second, func() { ran++; s.Stop() })
+	s.Schedule(2*time.Second, func() { ran++ })
+	s.RunAll()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the loop: ran=%d", ran)
+	}
+	s.RunAll() // resumes
+	if ran != 2 {
+		t.Fatalf("second RunAll should resume: ran=%d", ran)
+	}
+}

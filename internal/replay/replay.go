@@ -1,0 +1,116 @@
+// Package replay re-executes a recorded flow trace on a (possibly
+// different) fabric: each recorded flow is started at its original time
+// with its original endpoints and size, but rates and completion times
+// emerge from the new topology's capacities and sharing. This answers
+// "what would this exact offered load have done on fabric X" — the
+// architecture-evaluation workflow the paper motivates — without
+// re-running the workload model.
+//
+// Replay is open-loop: recorded start times are respected even where the
+// original run's congestion had delayed downstream work, so a faster
+// fabric shows shorter completions rather than a reshaped arrival
+// process. That is the standard trace-replay trade-off; closed-loop
+// what-ifs need the full simulator (internal/core).
+package replay
+
+import (
+	"fmt"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+// Options tunes a replay.
+type Options struct {
+	// Net options for the target fabric (stats bins, batching).
+	Net netsim.Options
+	// Horizon extends the run past the last recorded start so flows can
+	// finish; default 10 minutes.
+	Horizon netsim.Time
+}
+
+// Result is the outcome of a replay.
+type Result struct {
+	Net *netsim.Network
+	// Records are the re-measured flows on the new fabric.
+	Records []trace.FlowRecord
+	// Unplaceable counts input records whose endpoints do not exist on
+	// the target topology (skipped).
+	Unplaceable int
+}
+
+// Run replays records on a fresh network over top. Records are replayed
+// in their original start order; bytes of zero-length records are
+// preserved.
+func Run(records []trace.FlowRecord, top *topology.Topology, opts Options) (*Result, error) {
+	if top == nil {
+		return nil, fmt.Errorf("replay: nil topology")
+	}
+	net := netsim.New(top, opts.Net)
+	collector := trace.NewCollector(top, trace.Config{})
+	net.AddObserver(collector)
+	res := &Result{Net: net}
+	var last netsim.Time
+	hosts := top.NumHosts()
+	for _, r := range records {
+		if int(r.Src) >= hosts || int(r.Dst) >= hosts || r.Src < 0 || r.Dst < 0 {
+			res.Unplaceable++
+			continue
+		}
+		r := r
+		net.Schedule(r.Start, func() {
+			net.StartFlow(r.Src, r.Dst, r.Bytes, r.Tag, nil)
+		})
+		if r.Start > last {
+			last = r.Start
+		}
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = 10 * 60 * 1e9
+	}
+	net.Run(last + horizon)
+	net.Flush()
+	res.Records = collector.Records()
+	return res, nil
+}
+
+// Slowdowns compares replayed flow durations against the originals,
+// matched by start time, endpoints and size, returning the per-flow
+// replayed/original duration ratios. A ratio below 1 means the target
+// fabric moved that flow faster. Note that sub-millisecond mice are
+// sensitive to the replay network's rate-recompute batching; use exact
+// recomputation (Options.Net.MinRecomputeInterval == 0) when mice matter.
+func Slowdowns(original, replayed []trace.FlowRecord) []float64 {
+	type key struct {
+		src, dst topology.ServerID
+		start    netsim.Time
+		bytes    int64
+	}
+	orig := make(map[key]netsim.Time, len(original))
+	for _, r := range original {
+		orig[key{r.Src, r.Dst, r.Start, r.Bytes}] = r.Duration()
+	}
+	var out []float64
+	for _, r := range replayed {
+		od, ok := orig[key{r.Src, r.Dst, r.Start, r.Bytes}]
+		if !ok || od <= 0 || r.Duration() <= 0 {
+			continue
+		}
+		out = append(out, r.Duration().Seconds()/od.Seconds())
+	}
+	return out
+}
+
+// MeanSlowdown is the mean of Slowdowns (0 when nothing matched).
+func MeanSlowdown(original, replayed []trace.FlowRecord) float64 {
+	return stats.Mean(Slowdowns(original, replayed))
+}
+
+// MedianSlowdown is the median of Slowdowns (0 when nothing matched),
+// robust to the tiny-flow tail.
+func MedianSlowdown(original, replayed []trace.FlowRecord) float64 {
+	return stats.Median(Slowdowns(original, replayed))
+}

@@ -1,0 +1,84 @@
+package replay
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+func sampleTrace() []trace.FlowRecord {
+	var out []trace.FlowRecord
+	// 5 simultaneous cross-rack transfers from rack 0 to rack 2.
+	for i := 0; i < 5; i++ {
+		out = append(out, trace.FlowRecord{
+			ID:  netsim.FlowID(i),
+			Src: topology.ServerID(i), Dst: topology.ServerID(20 + i),
+			Bytes: 312_500_000, // 2.5 Gb each
+			Start: 0, End: 5 * time.Second,
+		})
+	}
+	return out
+}
+
+func TestReplayBasic(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	res, err := Run(sampleTrace(), top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 5 || res.Unplaceable != 0 {
+		t.Fatalf("records=%d unplaceable=%d", len(res.Records), res.Unplaceable)
+	}
+	// 5 × 2.5 Gb through the 2.5 Gbps ToR uplink: 0.5 Gbps each → 5 s.
+	for _, r := range res.Records {
+		if d := r.Duration(); d < 4900*time.Millisecond || d > 5100*time.Millisecond {
+			t.Fatalf("replayed duration %v, want ~5s", d)
+		}
+	}
+}
+
+func TestReplayFasterFabric(t *testing.T) {
+	original := sampleTrace() // measured on the tree: 5 s each
+	// Target fabric: double the ToR uplink — flows should finish ~2× faster.
+	cfg := topology.SmallConfig()
+	cfg.TorUplinkBps *= 2
+	fast := topology.MustNew(cfg)
+	res, err := Run(original, fast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := MeanSlowdown(original, res.Records)
+	if slow <= 0 {
+		t.Fatal("no matched flows")
+	}
+	if math.Abs(slow-0.5) > 0.05 {
+		t.Fatalf("mean slowdown %v, want ~0.5 on a 2x fabric", slow)
+	}
+}
+
+func TestReplayUnplaceable(t *testing.T) {
+	tiny := topology.MustNew(topology.Config{
+		Racks: 1, ServersPerRack: 2, AggSwitches: 1,
+		ServerLinkBps: 1e9, TorUplinkBps: 1e9, AggUplinkBps: 1e9,
+	})
+	res, err := Run(sampleTrace(), tiny, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unplaceable != 5 {
+		t.Fatalf("unplaceable = %d, want 5", res.Unplaceable)
+	}
+	if _, err := Run(nil, nil, Options{}); err == nil {
+		t.Fatal("nil topology must error")
+	}
+}
+
+func TestMeanSlowdownUnmatched(t *testing.T) {
+	if got := MeanSlowdown(sampleTrace(), nil); got != 0 {
+		t.Fatalf("unmatched slowdown = %v, want 0", got)
+	}
+}

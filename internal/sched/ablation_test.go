@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"dctraffic/internal/cosmos"
+	"dctraffic/internal/eventlog"
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/scope"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// ablationRig runs a fixed workload under a mutated config and reports
+// read locality and total fabric bytes.
+func ablationRig(t *testing.T, seed uint64, mutate func(*Config)) (nearFrac float64, fabricGB float64) {
+	t.Helper()
+	top := topology.MustNew(topology.SmallConfig())
+	net := netsim.New(top, netsim.Options{})
+	log := &eventlog.Log{}
+	store := cosmos.NewStore(top, cosmos.Config{ReplicationFactor: 3, ExtentBytes: 64 << 20}, stats.NewRNG(seed).Fork("store"))
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumDatasets = 4
+	cfg.DatasetMedian = 1 << 30
+	cfg.DatasetP90 = 4 << 30
+	cfg.BatchInputMedian = 512 << 20
+	cfg.BatchInputP90 = 2 << 30
+	mutate(&cfg)
+	cl := NewCluster(net, store, log, cfg)
+	cl.Start(20 * time.Minute)
+	net.Run(40 * time.Minute)
+	l, rk, v, rm := cl.ReadLocality()
+	total := l + rk + v + rm
+	if total == 0 {
+		t.Fatal("no reads at all")
+	}
+	return float64(l+rk+v) / float64(total), net.TotalBytes() / 1e9
+}
+
+func TestAblationRandomPlacementDestroysLocality(t *testing.T) {
+	nearNormal, bytesNormal := ablationRig(t, 21, func(*Config) {})
+	nearRandom, bytesRandom := ablationRig(t, 21, func(c *Config) { c.RandomPlacement = true })
+	if nearRandom >= nearNormal {
+		t.Fatalf("random placement should reduce near reads: %v vs %v", nearRandom, nearNormal)
+	}
+	// Losing locality turns local disk reads into network transfers, so
+	// fabric traffic must grow substantially.
+	if bytesRandom < bytesNormal*1.2 {
+		t.Fatalf("random placement fabric bytes %vGB vs %vGB — expected a clear increase",
+			bytesRandom, bytesNormal)
+	}
+}
+
+func TestAblationConnectionCap(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	net := netsim.New(top, netsim.Options{})
+	log := &eventlog.Log{}
+	store := cosmos.NewStore(top, cosmos.Config{ReplicationFactor: 3, ExtentBytes: 64 << 20}, stats.NewRNG(31))
+	cfg := DefaultConfig()
+	cfg.Seed = 31
+	cfg.NumDatasets = 2
+	cfg.DatasetMedian = 2 << 30
+	cfg.DatasetP90 = 4 << 30
+	cfg.MaxConnsPerVertex = 32
+	cl := NewCluster(net, store, log, cfg)
+	spec := testShuffleHeavySpec()
+	if _, err := cl.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(2 * time.Hour)
+	// With the cap lifted, vertices fan in much wider than 2 — the incast
+	// precondition the production default suppresses.
+	if got := cl.MaxConcurrentPulls(); got <= 2 {
+		t.Fatalf("uncapped vertex peaked at %d conns; ablation had no effect", got)
+	}
+}
+
+func TestQuantizedPacingCreatesModes(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	net := netsim.New(top, netsim.Options{})
+	log := &eventlog.Log{}
+	store := cosmos.NewStore(top, cosmos.Config{ReplicationFactor: 3, ExtentBytes: 64 << 20}, stats.NewRNG(41))
+	cfg := DefaultConfig()
+	cfg.Seed = 41
+	cfg.NumDatasets = 2
+	cfg.DatasetMedian = 1 << 30
+	cfg.DatasetP90 = 2 << 30
+	cl := NewCluster(net, store, log, cfg)
+	// Record shuffle flow starts per destination server.
+	starts := map[topology.ServerID][]netsim.Time{}
+	net.AddObserver(obsFunc(func(f *netsim.Flow) {
+		if f.Tag.Kind == netsim.KindShuffle {
+			starts[f.Dst] = append(starts[f.Dst], f.Start)
+		}
+	}))
+	if _, err := cl.Submit(testShuffleHeavySpec()); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(2 * time.Hour)
+	// Gaps between successive shuffle pulls at a vertex must be multiples
+	// of the 15 ms pacing quantum (modulo the quantization within a tick).
+	quantum := cfg.FlowPacing
+	onTick, total := 0, 0
+	for _, ts := range starts {
+		for i := 1; i < len(ts); i++ {
+			gap := ts[i] - ts[i-1]
+			if gap <= 0 {
+				continue
+			}
+			total++
+			rem := gap % quantum
+			if rem < time.Millisecond || quantum-rem < time.Millisecond {
+				onTick++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no shuffle gaps observed")
+	}
+	if frac := float64(onTick) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.2f of pull gaps fall on pacing ticks", frac)
+	}
+}
+
+// obsFunc adapts a function to netsim.Observer.
+type obsFunc func(*netsim.Flow)
+
+func (f obsFunc) FlowStarted(fl *netsim.Flow) { f(fl) }
+func (obsFunc) FlowEnded(*netsim.Flow)        {}
+
+// testShuffleHeavySpec is a wide aggregate over a sizable input.
+func testShuffleHeavySpec() *scope.JobSpec {
+	return scope.FilterAggregateJob("shuffle-heavy", "dataset-00", 1<<30, 1.0, 8)
+}
+
+func TestKilledJobCancelsFlows(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	net := netsim.New(top, netsim.Options{})
+	log := &eventlog.Log{}
+	store := cosmos.NewStore(top, cosmos.Config{ReplicationFactor: 3, ExtentBytes: 64 << 20}, stats.NewRNG(51))
+	cfg := DefaultConfig()
+	cfg.Seed = 51
+	cfg.NumDatasets = 1
+	cfg.DatasetMedian = 512 << 20
+	cfg.DatasetP90 = 1 << 30
+	cl := NewCluster(net, store, log, cfg)
+	canceled := 0
+	net.AddObserver(obsFunc(func(*netsim.Flow) {}))
+	j, err := cl.Submit(scope.FilterAggregateJob("victim", "dataset-00", 256<<20, 1.0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the job shortly after its extract reads start (the 256 MB job
+	// finishes within ~2 simulated seconds, so kill very early).
+	net.After(500*time.Millisecond, func() {
+		if j.Done() {
+			t.Fatal("job finished before the kill; tighten the timing")
+		}
+		cl.killJob(j, "operator abort")
+		// Any of the job's flows still active would be a reaping bug.
+		n := net.CancelWhere(func(f *netsim.Flow) bool {
+			if f.Tag.Job == j.ID {
+				t.Logf("survivor: %v", f)
+			}
+			return f.Tag.Job == j.ID
+		})
+		if n != 0 {
+			t.Errorf("%d flows of the killed job survived the reap", n)
+		}
+		canceled++
+	})
+	net.Run(time.Hour)
+	if canceled != 1 || !j.Killed {
+		t.Fatal("kill path did not run")
+	}
+	// All cores eventually free (no leaked vertices).
+	for s, busy := range cl.coresBusy {
+		if busy != 0 {
+			t.Fatalf("server %d leaks %d cores after kill", s, busy)
+		}
+	}
+}
+
+func TestPipelineJobsOptIn(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	net := netsim.New(top, netsim.Options{})
+	log := &eventlog.Log{}
+	store := cosmos.NewStore(top, cosmos.Config{ReplicationFactor: 3, ExtentBytes: 64 << 20}, stats.NewRNG(61))
+	cfg := DefaultConfig()
+	cfg.Seed = 61
+	cfg.NumDatasets = 2
+	cfg.DatasetMedian = 1 << 30
+	cfg.DatasetP90 = 2 << 30
+	cfg.PipelineFraction = 1.0 // every non-interactive, non-join job is a pipeline
+	cfg.InteractiveFraction = 0.01
+	cfg.JoinFraction = 0.01
+	cl := NewCluster(net, store, log, cfg)
+	cl.Start(10 * time.Minute)
+	net.Run(time.Hour)
+	found := false
+	for _, j := range cl.Jobs() {
+		if len(j.WF.Phases) >= 6 { // extract + >=2 rounds + output
+			found = true
+			if !j.Done() {
+				t.Fatalf("pipeline job %d did not finish", j.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no multi-round pipeline jobs ran")
+	}
+}

@@ -1,0 +1,422 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dctraffic/internal/cosmos"
+	"dctraffic/internal/eventlog"
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/scope"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// Cluster is the job manager: it owns the mapping from workload to network
+// activity. One Cluster drives one netsim.Network.
+type Cluster struct {
+	cfg   Config
+	net   *netsim.Network
+	top   *topology.Topology
+	store *cosmos.Store
+	log   *eventlog.Log
+	rng   *stats.RNG
+
+	coresBusy []int
+	waiting   []func() bool // queued vertex starts; retried when a core frees
+
+	datasets    []*cosmos.Dataset
+	datasetZipf *stats.Zipf
+
+	jobs      []*Job
+	nextJobID int
+
+	// Counters for the §4.4 incast-preconditions audit.
+	localReads         int64
+	rackReads          int64
+	vlanReads          int64
+	remoteReads        int64
+	maxConcurrentPulls int
+}
+
+// NewCluster wires a job manager over a network, block store and log.
+// Datasets are seeded immediately (fully replicated, no traffic).
+func NewCluster(net *netsim.Network, store *cosmos.Store, log *eventlog.Log, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:       cfg,
+		net:       net,
+		top:       net.Top(),
+		store:     store,
+		log:       log,
+		rng:       stats.NewRNG(cfg.Seed).Fork("sched"),
+		coresBusy: make([]int, net.Top().NumServers()),
+		nextJobID: 1, // 0 means "unattributed" in flow tags
+	}
+	sizeDist := stats.LognormalFromMedianP90(float64(cfg.DatasetMedian), float64(cfg.DatasetP90))
+	dsRNG := c.rng.Fork("datasets")
+	for i := 0; i < cfg.NumDatasets; i++ {
+		bytes := int64(sizeDist.Sample(dsRNG))
+		if bytes < store.Config().ExtentBytes {
+			bytes = store.Config().ExtentBytes
+		}
+		// Concentrate each dataset on a few contiguous racks (a VLAN's
+		// worth), the footprint left by the co-located job that wrote it.
+		span := 1 + int(bytes/(64*store.Config().ExtentBytes))
+		if span > 3 {
+			span = 3
+		}
+		if max := c.top.NumRacks() / 2; span > max && max > 0 {
+			span = max
+		}
+		start := dsRNG.IntN(c.top.NumRacks())
+		var racks []topology.RackID
+		for r := 0; r < span; r++ {
+			racks = append(racks, topology.RackID((start+r)%c.top.NumRacks()))
+		}
+		d := store.SeedDatasetNear(fmt.Sprintf("dataset-%02d", i), bytes, racks)
+		c.datasets = append(c.datasets, d)
+	}
+	c.datasetZipf = stats.NewZipf(cfg.NumDatasets, cfg.DatasetZipfSkew)
+	return c
+}
+
+// Config returns the effective (default-filled) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Jobs returns all jobs submitted so far.
+func (c *Cluster) Jobs() []*Job { return c.jobs }
+
+// ReadLocality reports how many vertex input reads were served locally,
+// from the same rack, from the same VLAN, and from farther away — the
+// §4.4 locality audit.
+func (c *Cluster) ReadLocality() (local, rack, vlan, remote int64) {
+	return c.localReads, c.rackReads, c.vlanReads, c.remoteReads
+}
+
+// MaxConcurrentPulls reports the largest number of simultaneous input
+// connections any vertex opened (bounded by MaxConnsPerVertex).
+func (c *Cluster) MaxConcurrentPulls() int { return c.maxConcurrentPulls }
+
+// Start schedules the full workload — job arrivals, ingest, evacuations —
+// over [0, duration). Call net.Run(duration) afterwards to execute.
+func (c *Cluster) Start(duration netsim.Time) {
+	c.scheduleArrivals(duration)
+	c.scheduleIngest(duration)
+	c.scheduleEvacuations(duration)
+}
+
+// arrivalRate is the non-homogeneous job arrival rate (jobs/hour) at t:
+// a diurnal sinusoid with a weekend dip.
+func (c *Cluster) arrivalRate(t netsim.Time) float64 {
+	day := float64(t) / float64(24*time.Hour)
+	phase := 2 * math.Pi * (day - 0.25) // peak mid-day
+	rate := c.cfg.JobsPerHour * (1 + c.cfg.DiurnalAmplitude*math.Sin(phase))
+	if int(day)%7 >= 5 {
+		rate *= c.cfg.WeekendFactor
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+// scheduleArrivals draws a non-homogeneous Poisson process by thinning.
+func (c *Cluster) scheduleArrivals(duration netsim.Time) {
+	r := c.rng.Fork("arrivals")
+	lambdaMax := c.cfg.JobsPerHour * (1 + c.cfg.DiurnalAmplitude)
+	if lambdaMax <= 0 {
+		return
+	}
+	meanGap := float64(time.Hour) / lambdaMax
+	for t := netsim.Time(0); t < duration; {
+		t += netsim.Time(stats.Exponential{Rate: 1 / meanGap}.Sample(r))
+		if t >= duration {
+			break
+		}
+		if r.Float64() > c.arrivalRate(t)/lambdaMax {
+			continue // thinned out
+		}
+		at := t
+		c.net.Schedule(at, func() { c.submitRandomJob() })
+	}
+}
+
+// submitRandomJob draws a job from the configured mix and submits it.
+func (c *Cluster) submitRandomJob() {
+	r := c.rng
+	id := c.nextJobID
+	var spec *scope.JobSpec
+	switch {
+	case r.Bool(c.cfg.InteractiveFraction):
+		bytes := c.sampleInput(c.cfg.InteractiveInputMedian, c.cfg.InteractiveInputP90)
+		spec = scope.InteractiveJob(fmt.Sprintf("adhoc-%d", id), c.pickDataset(), bytes)
+	case r.Bool(c.cfg.JoinFraction / (1 - c.cfg.InteractiveFraction)):
+		bytes := c.sampleInput(c.cfg.BatchInputMedian, c.cfg.BatchInputP90)
+		spec = scope.JoinJob(fmt.Sprintf("join-%d", id), c.pickDataset(), bytes, 0.3)
+	case c.cfg.PipelineFraction > 0 && r.Bool(c.cfg.PipelineFraction):
+		// Long-running production pipelines: several shuffle rounds.
+		bytes := c.sampleInput(c.cfg.BatchInputMedian, c.cfg.BatchInputP90)
+		spec = scope.MultiRoundJob(fmt.Sprintf("pipeline-%d", id), c.pickDataset(), bytes, 2+r.IntN(2))
+	default:
+		bytes := c.sampleInput(c.cfg.BatchInputMedian, c.cfg.BatchInputP90)
+		sel := 0.05 + 0.45*r.Float64()
+		spec = scope.FilterAggregateJob(fmt.Sprintf("index-%d", id), c.pickDataset(), bytes, sel, 0)
+	}
+	if _, err := c.Submit(spec); err != nil {
+		// Workload templates always compile; a failure here is a bug.
+		panic(err)
+	}
+}
+
+func (c *Cluster) sampleInput(median, p90 int64) int64 {
+	d := stats.LognormalFromMedianP90(float64(median), float64(p90))
+	b := int64(d.Sample(c.rng))
+	if b < 1<<20 {
+		b = 1 << 20
+	}
+	return b
+}
+
+func (c *Cluster) pickDataset() string {
+	return c.datasets[c.datasetZipf.Sample(c.rng)].Name
+}
+
+// scheduleIngest arranges periodic dataset uploads from external hosts.
+func (c *Cluster) scheduleIngest(duration netsim.Time) {
+	if c.cfg.IngestPerHour <= 0 || c.top.NumHosts() == c.top.NumServers() {
+		return
+	}
+	r := c.rng.Fork("ingest")
+	meanGap := float64(time.Hour) / c.cfg.IngestPerHour
+	seq := 0
+	for t := netsim.Time(stats.Exponential{Rate: 1 / meanGap}.Sample(r)); t < duration; t += netsim.Time(stats.Exponential{Rate: 1 / meanGap}.Sample(r)) {
+		at := t
+		n := seq
+		seq++
+		c.net.Schedule(at, func() { c.runIngest(n) })
+	}
+}
+
+// runIngest uploads a new dataset from a random external host: one flow
+// per extent into the chosen primary, then in-cluster replication.
+func (c *Cluster) runIngest(seq int) {
+	r := c.rng
+	ext := topology.ServerID(c.top.NumServers() + r.IntN(c.top.NumHosts()-c.top.NumServers()))
+	name := fmt.Sprintf("ingest-%d", seq)
+	d, transfers := c.store.CreateDataset(name, c.cfg.IngestBytes)
+	// Upload each extent primary from the external host, paced serially
+	// (uploaders stream extents one at a time), then replicate.
+	var uploadNext func(i int)
+	uploadNext = func(i int) {
+		if i >= len(d.Extents) {
+			return
+		}
+		e := c.store.Extent(d.Extents[i])
+		c.net.StartFlow(ext, e.Replicas[0], e.Bytes, netsim.FlowTag{Kind: netsim.KindIngest}, func(*netsim.Flow) {
+			uploadNext(i + 1)
+		})
+	}
+	uploadNext(0)
+	c.runTransfers(transfers, netsim.KindIngest, 2, nil)
+}
+
+// scheduleEvacuations arranges random server drains.
+func (c *Cluster) scheduleEvacuations(duration netsim.Time) {
+	if c.cfg.EvacuationsPerDay <= 0 {
+		return
+	}
+	r := c.rng.Fork("evac")
+	meanGap := float64(24*time.Hour) / c.cfg.EvacuationsPerDay
+	for t := netsim.Time(stats.Exponential{Rate: 1 / meanGap}.Sample(r)); t < duration; t += netsim.Time(stats.Exponential{Rate: 1 / meanGap}.Sample(r)) {
+		at := t
+		c.net.Schedule(at, func() { c.runEvacuation() })
+	}
+}
+
+// runEvacuation drains a random server: every block it holds is copied
+// off, with bounded parallelism, before the machine is handed to a human.
+func (c *Cluster) runEvacuation() {
+	victim := topology.ServerID(c.rng.IntN(c.top.NumServers()))
+	transfers := c.store.Evacuate(victim)
+	if len(transfers) == 0 {
+		return
+	}
+	c.log.Append(eventlog.Record{
+		Time: c.net.Now(), Type: eventlog.EvacuationStarted, Server: victim,
+		Name: fmt.Sprintf("%d extents", len(transfers)),
+	})
+	c.runTransfers(transfers, netsim.KindEvacuate, 4, func() {
+		c.log.Append(eventlog.Record{
+			Time: c.net.Now(), Type: eventlog.EvacuationCompleted, Server: victim,
+		})
+	})
+}
+
+// runTransfers executes store transfers as flows with at most parallel in
+// flight, committing each on completion; done (optional) runs when all
+// finish.
+func (c *Cluster) runTransfers(transfers []cosmos.Transfer, kind netsim.FlowKind, parallel int, done func()) {
+	if len(transfers) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	next := 0
+	outstanding := 0
+	var launch func()
+	var onDone func(*netsim.Flow)
+	onDone = func(*netsim.Flow) {
+		outstanding--
+		launch()
+	}
+	launch = func() {
+		for outstanding < parallel && next < len(transfers) {
+			t := transfers[next]
+			next++
+			outstanding++
+			c.net.StartFlow(t.Src, t.Dst, t.Bytes, netsim.FlowTag{Kind: kind}, func(f *netsim.Flow) {
+				if !f.Canceled {
+					if err := c.store.CommitTransfer(t); err != nil {
+						panic(err) // transfers come from the store; unknown extents are impossible
+					}
+					if kind == netsim.KindEvacuate {
+						c.store.DropReplica(t.Extent, t.Src)
+					}
+				}
+				onDone(f)
+			})
+		}
+		if outstanding == 0 && next >= len(transfers) && done != nil {
+			done()
+			done = nil
+		}
+	}
+	launch()
+}
+
+// --- core accounting -------------------------------------------------
+
+// tryAcquireCore takes a core on srv, returning false when none is free.
+func (c *Cluster) tryAcquireCore(srv topology.ServerID) bool {
+	if c.coresBusy[srv] >= c.cfg.CoresPerServer {
+		return false
+	}
+	c.coresBusy[srv]++
+	return true
+}
+
+// releaseCore frees a core and retries queued vertex starts.
+func (c *Cluster) releaseCore(srv topology.ServerID) {
+	c.coresBusy[srv]--
+	if c.coresBusy[srv] < 0 {
+		panic("sched: core release underflow")
+	}
+	// Retry waiting starts; keep the ones that still cannot run.
+	if len(c.waiting) == 0 {
+		return
+	}
+	var still []func() bool
+	for _, w := range c.waiting {
+		if !w() {
+			still = append(still, w)
+		}
+	}
+	c.waiting = still
+}
+
+// enqueueWaiting registers a vertex start to retry when cores free up.
+// The callback returns true once it has successfully started.
+func (c *Cluster) enqueueWaiting(start func() bool) {
+	c.waiting = append(c.waiting, start)
+}
+
+// freeServer finds a server with a free core, preferring the given
+// candidates tiers in order; each tier is tried before widening. Returns
+// -1 if every core in the cluster is busy.
+func (c *Cluster) freeServer(tiers ...[]topology.ServerID) topology.ServerID {
+	for _, tier := range tiers {
+		if len(tier) == 0 {
+			continue
+		}
+		start := c.rng.IntN(len(tier))
+		for i := 0; i < len(tier); i++ {
+			s := tier[(start+i)%len(tier)]
+			if c.coresBusy[s] < c.cfg.CoresPerServer {
+				return s
+			}
+		}
+	}
+	// Any server at all.
+	n := c.top.NumServers()
+	start := c.rng.IntN(n)
+	for i := 0; i < n; i++ {
+		s := topology.ServerID((start + i) % n)
+		if c.coresBusy[s] < c.cfg.CoresPerServer {
+			return s
+		}
+	}
+	return -1
+}
+
+// rackTier lists the servers in srv's rack; vlanTier the servers in its
+// VLAN (excluding the rack, to keep tiers disjoint in spirit).
+func (c *Cluster) rackTier(srv topology.ServerID) []topology.ServerID {
+	r := c.top.Rack(srv)
+	if r < 0 {
+		return nil
+	}
+	return c.top.RackServers(r)
+}
+
+func (c *Cluster) vlanTier(srv topology.ServerID) []topology.ServerID {
+	v := c.top.VLAN(srv)
+	if v < 0 {
+		return nil
+	}
+	var out []topology.ServerID
+	rpv := c.top.Config().RacksPerVLAN
+	for r := v * rpv; r < (v+1)*rpv && r < c.top.NumRacks(); r++ {
+		out = append(out, c.top.RackServers(topology.RackID(r))...)
+	}
+	return out
+}
+
+// pacingGap samples the stop-and-go delay before a vertex opens its next
+// connection (used for retry backoff).
+func (c *Cluster) pacingGap() netsim.Time {
+	j := c.cfg.PacingJitter
+	f := 1 - j + 2*j*c.rng.Float64()
+	return netsim.Time(float64(c.cfg.FlowPacing) * f)
+}
+
+// delayToNextTick returns the time until the vertex's next pacing-timer
+// tick: connections open only on multiples of FlowPacing since the vertex
+// began, the application-level rate limiting of §4.3.
+func (c *Cluster) delayToNextTick(began netsim.Time) netsim.Time {
+	if c.cfg.FlowPacing <= 0 {
+		return 0
+	}
+	elapsed := c.net.Now() - began
+	ticks := elapsed/c.cfg.FlowPacing + 1
+	return ticks*c.cfg.FlowPacing - elapsed
+}
+
+// noteRead classifies the locality of a read for the §4.4 audit.
+func (c *Cluster) noteRead(src, dst topology.ServerID) {
+	switch {
+	case src == dst:
+		c.localReads++
+	case c.top.SameRack(src, dst):
+		c.rackReads++
+	case c.top.SameVLAN(src, dst):
+		c.vlanReads++
+	default:
+		c.remoteReads++
+	}
+}

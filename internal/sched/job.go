@@ -1,0 +1,623 @@
+package sched
+
+import (
+	"fmt"
+
+	"dctraffic/internal/cosmos"
+	"dctraffic/internal/eventlog"
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/scope"
+	"dctraffic/internal/topology"
+)
+
+// vertexLoc records where a completed vertex left its output.
+type vertexLoc struct {
+	Server topology.ServerID
+	Bytes  int64 // output bytes available at Server
+}
+
+// Job is one executing workflow.
+type Job struct {
+	ID      int
+	Spec    *scope.JobSpec
+	WF      *scope.Workflow
+	Manager topology.ServerID // server running the job manager process
+
+	Submit netsim.Time
+	Start  netsim.Time
+	End    netsim.Time
+	Killed bool
+
+	inputExtents []cosmos.ExtentID
+	locs         [][]vertexLoc // per phase: completed vertex output locations
+	outstanding  []int         // per phase: vertices not yet finished
+	started      []bool        // per phase
+	completed    []bool        // per phase
+	finished     bool
+}
+
+// Done reports whether the job finished (completed or killed).
+func (j *Job) Done() bool { return j.finished }
+
+// Duration returns the job's wall-clock time (0 if still running).
+func (j *Job) Duration() netsim.Time {
+	if !j.finished {
+		return 0
+	}
+	return j.End - j.Submit
+}
+
+// Submit compiles and admits a job now. The job's extract vertices read a
+// contiguous slice of the named dataset sized to the spec's InputBytes.
+func (c *Cluster) Submit(spec *scope.JobSpec) (*Job, error) {
+	ds := c.store.Dataset(spec.Input)
+	if ds == nil {
+		return nil, fmt.Errorf("sched: job %q reads unknown dataset %q", spec.Name, spec.Input)
+	}
+	extentBytes := c.store.Config().ExtentBytes
+	want := int((spec.InputBytes + extentBytes - 1) / extentBytes)
+	if want < 1 {
+		want = 1
+	}
+	if want > len(ds.Extents) {
+		want = len(ds.Extents)
+	}
+	start := 0
+	if len(ds.Extents) > want {
+		start = c.rng.IntN(len(ds.Extents) - want + 1)
+	}
+	chosen := ds.Extents[start : start+want]
+	var total int64
+	for _, id := range chosen {
+		total += c.store.Extent(id).Bytes
+	}
+	spec.InputBytes = total
+	spec.ExtentBytes = extentBytes
+	wf, err := scope.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		ID:           c.nextJobID,
+		Spec:         spec,
+		WF:           wf,
+		Manager:      topology.ServerID(c.rng.IntN(c.top.NumServers())),
+		Submit:       c.net.Now(),
+		Start:        c.net.Now(),
+		inputExtents: chosen,
+		locs:         make([][]vertexLoc, len(wf.Phases)),
+		outstanding:  make([]int, len(wf.Phases)),
+		started:      make([]bool, len(wf.Phases)),
+		completed:    make([]bool, len(wf.Phases)),
+	}
+	c.nextJobID++
+	for i, p := range wf.Phases {
+		j.outstanding[i] = len(p.Vertices)
+		j.locs[i] = make([]vertexLoc, 0, len(p.Vertices))
+	}
+	c.jobs = append(c.jobs, j)
+	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.JobSubmitted, Job: j.ID, Name: spec.Name})
+	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.JobStarted, Job: j.ID})
+	for i, p := range wf.Phases {
+		if len(p.Deps) == 0 {
+			c.startPhase(j, i)
+		}
+	}
+	return j, nil
+}
+
+// startPhase launches every vertex of phase p.
+func (c *Cluster) startPhase(j *Job, p int) {
+	if j.started[p] || j.Killed {
+		return
+	}
+	j.started[p] = true
+	ph := j.WF.Phases[p]
+	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.PhaseStarted, Job: j.ID, Phase: p, Name: ph.Type.String()})
+	switch ph.Type {
+	case scope.Extract:
+		for vi := range ph.Vertices {
+			c.startExtractVertex(j, p, vi)
+		}
+	case scope.Partition:
+		// Pipelined and co-located with its dependency: the transform is
+		// local, so the phase completes immediately, inheriting the dep's
+		// output locations scaled to the partition's volumes.
+		c.completePartition(j, p)
+	case scope.Aggregate, scope.Combine:
+		for vi := range ph.Vertices {
+			c.startShuffleVertex(j, p, vi)
+		}
+	case scope.Output:
+		for vi := range ph.Vertices {
+			c.startOutputVertex(j, p, vi)
+		}
+	}
+}
+
+// completePartition materializes a pipelined partition phase in place.
+func (c *Cluster) completePartition(j *Job, p int) {
+	ph := j.WF.Phases[p]
+	depLocs := c.upstreamLocs(j, ph)
+	for vi, v := range ph.Vertices {
+		server := j.Manager
+		if len(depLocs) > 0 {
+			server = depLocs[vi%len(depLocs)].Server
+		}
+		j.locs[p] = append(j.locs[p], vertexLoc{Server: server, Bytes: v.OutputBytes})
+		j.outstanding[p]--
+	}
+	c.phaseMaybeComplete(j, p)
+}
+
+// upstreamLocs concatenates the output locations of a phase's deps.
+func (c *Cluster) upstreamLocs(j *Job, ph *scope.Phase) []vertexLoc {
+	var out []vertexLoc
+	for _, d := range ph.Deps {
+		out = append(out, j.locs[d.Index]...)
+	}
+	return out
+}
+
+// startExtractVertex places and runs one extract vertex. Placement
+// prefers a replica holder with a free core (local read); otherwise the
+// primary's rack, VLAN, then anywhere — generating the occasional remote
+// extract reads the paper observed on hot machines.
+func (c *Cluster) startExtractVertex(j *Job, p, vi int) {
+	ph := j.WF.Phases[p]
+	v := ph.Vertices[vi]
+	ext := c.store.Extent(j.inputExtents[vi%len(j.inputExtents)])
+
+	place := func() bool {
+		if j.Killed {
+			// Job died while queued; drop the vertex.
+			c.vertexAbandoned(j, p)
+			return true
+		}
+		if !c.cfg.RandomPlacement {
+			// Tier 1: replica holders (local read).
+			for _, rep := range ext.Replicas {
+				if c.tryAcquireCore(rep) {
+					c.runExtract(j, p, vi, v, ext, rep)
+					return true
+				}
+			}
+		}
+		// Tier 2+: near the primary, then anywhere (remote read); the
+		// ablation skips straight to "anywhere".
+		var s topology.ServerID
+		if c.cfg.RandomPlacement {
+			s = c.freeServer()
+		} else {
+			primary := ext.Replicas[0]
+			s = c.freeServer(c.rackTier(primary), c.vlanTier(primary))
+		}
+		if s < 0 {
+			return false
+		}
+		if !c.tryAcquireCore(s) {
+			return false
+		}
+		c.runExtract(j, p, vi, v, ext, s)
+		return true
+	}
+	if !place() {
+		c.enqueueWaiting(place)
+	}
+}
+
+// runExtract performs the read (+ possible retries) and compute of an
+// extract vertex on server s, which already holds a core.
+func (c *Cluster) runExtract(j *Job, p, vi int, v *scope.Vertex, ext *cosmos.Extent, s topology.ServerID) {
+	began := c.net.Now()
+	c.log.Append(eventlog.Record{Time: began, Type: eventlog.VertexStarted, Job: j.ID, Phase: p, Vertex: vi, Server: s})
+	c.controlFlow(j.Manager, s, j)
+
+	finish := func() {
+		c.computeThenFinish(j, p, vi, v, s, began)
+	}
+	c.readInput(j, p, vi, s, ext, v.InputBytes, netsim.KindExtractRead, c.cfg.MaxReadRetries, finish)
+}
+
+// readInput performs one input read of bytes from the best replica of ext
+// onto server s, retrying on failure; exhausting retries kills the job.
+func (c *Cluster) readInput(j *Job, p, vi int, s topology.ServerID, ext *cosmos.Extent, bytes int64, kind netsim.FlowKind, retries int, finish func()) {
+	src, ok := c.store.PickReplica(ext, s)
+	if !ok {
+		c.killJob(j, "input extent lost")
+		c.releaseCore(s)
+		c.vertexAbandoned(j, p)
+		return
+	}
+	c.transferRead(j, p, vi, src, s, bytes, kind, retries, func() { finish() }, func() {
+		c.releaseCore(s)
+		c.vertexAbandoned(j, p)
+	})
+}
+
+// transferRead moves bytes from src to dst as a read attempt, retrying on
+// sampled failure; onFail runs after the job is killed.
+func (c *Cluster) transferRead(j *Job, p, vi int, src, dst topology.ServerID, bytes int64, kind netsim.FlowKind, retries int, onOK func(), onFail func()) {
+	if j.Killed {
+		// The job died while this read was queued or backing off.
+		onFail()
+		return
+	}
+	c.noteRead(src, dst)
+	start := c.net.Now()
+	if src == dst {
+		// Local disk read.
+		dur := netsim.Time(float64(bytes) / c.cfg.DiskBps * 1e9)
+		c.net.After(dur, func() {
+			failed := c.rng.Bool(c.cfg.ReadFailBase)
+			c.log.AppendRead(eventlog.ReadAttempt{
+				Job: j.ID, Phase: p, Vertex: vi, Src: src, Dst: dst, Flow: -1,
+				Start: start, End: c.net.Now(), Failed: failed,
+			})
+			if !failed {
+				onOK()
+				return
+			}
+			c.retryOrKill(j, p, vi, src, dst, bytes, kind, retries, onOK, onFail)
+		})
+		return
+	}
+	tag := netsim.FlowTag{Job: j.ID, Phase: p, Vertex: vi, Kind: kind}
+	c.net.StartFlow(src, dst, bytes, tag, func(f *netsim.Flow) {
+		if f.Canceled {
+			// Job killed elsewhere; unwind this vertex's resources.
+			onFail()
+			return
+		}
+		failed := c.sampleReadFailure(f)
+		c.log.AppendRead(eventlog.ReadAttempt{
+			Job: j.ID, Phase: p, Vertex: vi, Src: src, Dst: dst, Flow: f.ID,
+			Start: f.Start, End: f.End, Failed: failed,
+		})
+		if !failed {
+			onOK()
+			return
+		}
+		c.retryOrKill(j, p, vi, src, dst, bytes, kind, retries, onOK, onFail)
+	})
+}
+
+func (c *Cluster) retryOrKill(j *Job, p, vi int, src, dst topology.ServerID, bytes int64, kind netsim.FlowKind, retries int, onOK func(), onFail func()) {
+	if retries > 0 && !j.Killed {
+		c.net.After(c.pacingGap()*4, func() {
+			c.transferRead(j, p, vi, src, dst, bytes, kind, retries-1, onOK, onFail)
+		})
+		return
+	}
+	c.killJob(j, "unable to read input")
+	onFail()
+}
+
+// sampleReadFailure decides whether a completed network read "failed":
+// a baseline probability, boosted when the flow's achieved rate indicates
+// it was stuck behind congestion.
+func (c *Cluster) sampleReadFailure(f *netsim.Flow) bool {
+	p := c.cfg.ReadFailBase
+	dur := f.End - f.Start
+	if dur > 0 && f.Bytes > 0 {
+		rate := float64(f.Bytes) * 8 / dur.Seconds()
+		if rate < c.cfg.StallRateBps {
+			p += c.cfg.ReadFailStallBoost * (1 - rate/c.cfg.StallRateBps)
+		}
+	}
+	return c.rng.Bool(p)
+}
+
+// killJob marks a job failed; in-flight vertices drain but no new phases
+// start.
+func (c *Cluster) killJob(j *Job, reason string) {
+	if j.Killed || j.finished {
+		return
+	}
+	j.Killed = true
+	j.finished = true
+	j.End = c.net.Now()
+	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.JobKilled, Job: j.ID, Name: reason})
+	// Reap the dead job's in-flight transfers; their callbacks observe
+	// Canceled and unwind vertex resources.
+	c.net.CancelWhere(func(f *netsim.Flow) bool { return f.Tag.Job == j.ID })
+}
+
+// computeThenFinish burns compute time proportional to input volume, then
+// finishes the vertex.
+func (c *Cluster) computeThenFinish(j *Job, p, vi int, v *scope.Vertex, s topology.ServerID, began netsim.Time) {
+	jitter := 0.7 + 0.6*c.rng.Float64()
+	dur := netsim.Time(float64(v.InputBytes) / c.cfg.ComputeBps * jitter * 1e9)
+	if min := netsim.Time(50e6); dur < min { // 50 ms floor
+		dur = min
+	}
+	c.net.After(dur, func() {
+		c.finishVertex(j, p, vi, v, s, began)
+	})
+}
+
+// finishVertex records output location, emits logs, releases the core and
+// advances the phase.
+func (c *Cluster) finishVertex(j *Job, p, vi int, v *scope.Vertex, s topology.ServerID, began netsim.Time) {
+	now := c.net.Now()
+	c.log.Append(eventlog.Record{Time: now, Type: eventlog.VertexCompleted, Job: j.ID, Phase: p, Vertex: vi, Server: s})
+	c.log.AppendMembership(eventlog.JobMembership{Job: j.ID, Phase: p, Server: s, Start: began, End: now})
+	c.controlFlow(s, j.Manager, j)
+	j.locs[p] = append(j.locs[p], vertexLoc{Server: s, Bytes: v.OutputBytes})
+	c.releaseCore(s)
+	j.outstanding[p]--
+	c.phaseMaybeComplete(j, p)
+}
+
+// vertexAbandoned accounts for a vertex that will never finish (job
+// killed) so bookkeeping still converges.
+func (c *Cluster) vertexAbandoned(j *Job, p int) {
+	j.outstanding[p]--
+	c.phaseMaybeComplete(j, p)
+}
+
+// phaseMaybeComplete fires when the last vertex of a phase lands.
+func (c *Cluster) phaseMaybeComplete(j *Job, p int) {
+	if j.outstanding[p] > 0 || j.completed[p] {
+		return
+	}
+	j.completed[p] = true
+	if !j.Killed {
+		c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.PhaseCompleted, Job: j.ID, Phase: p})
+	}
+	// Start phases whose deps are now all complete.
+	for q, ph := range j.WF.Phases {
+		if j.started[q] || len(ph.Deps) == 0 {
+			continue
+		}
+		ready := true
+		for _, d := range ph.Deps {
+			if !j.completed[d.Index] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			c.startPhase(j, q)
+		}
+	}
+	// Job done?
+	if p == len(j.WF.Phases)-1 && !j.Killed {
+		c.completeJob(j)
+	}
+}
+
+// completeJob logs completion and possibly streams results out to an
+// external host.
+func (c *Cluster) completeJob(j *Job) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.End = c.net.Now()
+	c.log.Append(eventlog.Record{Time: j.End, Type: eventlog.JobCompleted, Job: j.ID})
+	if c.top.NumHosts() > c.top.NumServers() && c.rng.Bool(c.cfg.EgressProbability) {
+		ext := topology.ServerID(c.top.NumServers() + c.rng.IntN(c.top.NumHosts()-c.top.NumServers()))
+		extentBytes := c.store.Config().ExtentBytes
+		for _, loc := range j.locs[len(j.WF.Phases)-1] {
+			// Results stream out one extent-sized chunk per flow,
+			// sequentially (the puller reads the stored extents in order).
+			loc := loc
+			var pullNext func(remaining int64)
+			pullNext = func(remaining int64) {
+				if remaining <= 0 {
+					return
+				}
+				sz := extentBytes
+				if remaining < sz {
+					sz = remaining
+				}
+				c.net.StartFlow(loc.Server, ext, sz, netsim.FlowTag{Job: j.ID, Kind: netsim.KindEgress}, func(f *netsim.Flow) {
+					if !f.Canceled {
+						pullNext(remaining - sz)
+					}
+				})
+			}
+			pullNext(loc.Bytes)
+		}
+	}
+}
+
+// controlFlow sends a small job-manager control message.
+func (c *Cluster) controlFlow(src, dst topology.ServerID, j *Job) {
+	if src == dst || c.cfg.ControlFlowBytes <= 0 {
+		return
+	}
+	c.net.StartFlow(src, dst, c.cfg.ControlFlowBytes, netsim.FlowTag{Job: j.ID, Kind: netsim.KindControl}, nil)
+}
+
+// --- shuffle (aggregate / combine) vertices ---------------------------
+
+// startShuffleVertex places an aggregate or combine vertex near its input
+// data and pulls its bucket from every upstream vertex — the
+// scatter-gather pattern — with a bounded connection count and stop-and-go
+// pacing.
+func (c *Cluster) startShuffleVertex(j *Job, p, vi int) {
+	ph := j.WF.Phases[p]
+	v := ph.Vertices[vi]
+	ups := c.upstreamLocs(j, ph)
+
+	place := func() bool {
+		if j.Killed {
+			c.vertexAbandoned(j, p)
+			return true
+		}
+		s := c.placeNearData(ups)
+		if s < 0 {
+			return false
+		}
+		if !c.tryAcquireCore(s) {
+			return false
+		}
+		c.runShuffle(j, p, vi, v, s, ups)
+		return true
+	}
+	if !place() {
+		c.enqueueWaiting(place)
+	}
+}
+
+// placeNearData picks a free-core server preferring the upstream servers
+// themselves, then their racks, then their VLANs (work-seeks-bandwidth).
+// Under the RandomPlacement ablation it picks any free-core server.
+func (c *Cluster) placeNearData(ups []vertexLoc) topology.ServerID {
+	if c.cfg.RandomPlacement {
+		return c.freeServer()
+	}
+	var tier1 []topology.ServerID
+	rackSeen := map[topology.RackID]bool{}
+	var tier2 []topology.ServerID
+	vlanSeen := map[int]bool{}
+	var tier3 []topology.ServerID
+	for _, u := range ups {
+		tier1 = append(tier1, u.Server)
+		if r := c.top.Rack(u.Server); r >= 0 && !rackSeen[r] {
+			rackSeen[r] = true
+			tier2 = append(tier2, c.top.RackServers(r)...)
+		}
+		if vl := c.top.VLAN(u.Server); vl >= 0 && !vlanSeen[vl] {
+			vlanSeen[vl] = true
+			tier3 = append(tier3, c.vlanTier(u.Server)...)
+		}
+	}
+	return c.freeServer(tier1, tier2, tier3)
+}
+
+// runShuffle executes the pulls and compute of a shuffle vertex on s.
+func (c *Cluster) runShuffle(j *Job, p, vi int, v *scope.Vertex, s topology.ServerID, ups []vertexLoc) {
+	began := c.net.Now()
+	c.log.Append(eventlog.Record{Time: began, Type: eventlog.VertexStarted, Job: j.ID, Phase: p, Vertex: vi, Server: s})
+	c.controlFlow(j.Manager, s, j)
+
+	ph := j.WF.Phases[p]
+	// Each upstream vertex contributes this vertex's bucket share.
+	share := 0.0
+	if ph.InputBytes > 0 {
+		share = float64(v.InputBytes) / float64(ph.InputBytes)
+	}
+	type pull struct {
+		src   topology.ServerID
+		bytes int64
+	}
+	var pulls []pull
+	for _, u := range ups {
+		b := int64(float64(u.Bytes) * share)
+		if b <= 0 {
+			continue
+		}
+		pulls = append(pulls, pull{src: u.Server, bytes: b})
+	}
+	if len(pulls) == 0 {
+		c.computeThenFinish(j, p, vi, v, s, began)
+		return
+	}
+
+	active, next, failedVertex := 0, 0, false
+	var pump func()
+	onPullDone := func(ok bool) {
+		active--
+		if !ok {
+			failedVertex = true
+		}
+		if failedVertex {
+			if active == 0 {
+				// Core already released by the failure path.
+				return
+			}
+			return
+		}
+		if next >= len(pulls) && active == 0 {
+			c.computeThenFinish(j, p, vi, v, s, began)
+			return
+		}
+		// Stop-and-go: the application opens new connections only on the
+		// ticks of its internal timer, so the next pull starts at the
+		// next pacing-quantum boundary. This clocking is what produces
+		// the periodic inter-arrival modes of Figure 11 (~15 ms apart).
+		c.net.After(c.delayToNextTick(began), func() {
+			if !failedVertex {
+				pump()
+			}
+		})
+	}
+	pump = func() {
+		for active < c.cfg.MaxConnsPerVertex && next < len(pulls) {
+			pl := pulls[next]
+			next++
+			active++
+			if active > c.maxConcurrentPulls {
+				c.maxConcurrentPulls = active
+			}
+			c.transferRead(j, p, vi, pl.src, s, pl.bytes, netsim.KindShuffle, c.cfg.MaxReadRetries,
+				func() { onPullDone(true) },
+				func() {
+					// Job killed: release resources exactly once, even if
+					// several in-flight pulls fail.
+					active--
+					if failedVertex {
+						return
+					}
+					failedVertex = true
+					c.releaseCore(s)
+					c.vertexAbandoned(j, p)
+				})
+		}
+	}
+	pump()
+}
+
+// --- output vertices ---------------------------------------------------
+
+// startOutputVertex writes a vertex's results to the local block store
+// (outputs are always written to the local disk) and kicks off background
+// replication.
+func (c *Cluster) startOutputVertex(j *Job, p, vi int) {
+	ph := j.WF.Phases[p]
+	v := ph.Vertices[vi]
+	ups := c.upstreamLocs(j, ph)
+	server := j.Manager
+	if len(ups) > 0 {
+		server = ups[vi%len(ups)].Server
+	}
+	began := c.net.Now()
+	c.log.Append(eventlog.Record{Time: began, Type: eventlog.VertexStarted, Job: j.ID, Phase: p, Vertex: vi, Server: server})
+	writeBytes := v.OutputBytes
+	if writeBytes <= 0 {
+		writeBytes = 1
+	}
+	dur := netsim.Time(float64(writeBytes) / c.cfg.DiskBps * 1e9)
+	c.net.After(dur, func() {
+		// Chunk the output into extents — the chunking that, per the
+		// paper's conclusion, keeps flow sizes bounded (no super-large
+		// flows): replication moves one extent per flow.
+		extent := c.store.Config().ExtentBytes
+		var transfers []cosmos.Transfer
+		for remaining := writeBytes; remaining > 0; {
+			sz := extent
+			if remaining < sz {
+				sz = remaining
+			}
+			_, tr := c.store.CreateExtent(sz, server)
+			transfers = append(transfers, tr...)
+			remaining -= sz
+		}
+		c.runTransfers(transfers, netsim.KindReplicate, 2, nil)
+		c.finishOutputVertex(j, p, vi, v, server, began)
+	})
+}
+
+// finishOutputVertex is finishVertex without core accounting (output
+// writes are I/O, not core-bound in this model).
+func (c *Cluster) finishOutputVertex(j *Job, p, vi int, v *scope.Vertex, s topology.ServerID, began netsim.Time) {
+	now := c.net.Now()
+	c.log.Append(eventlog.Record{Time: now, Type: eventlog.VertexCompleted, Job: j.ID, Phase: p, Vertex: vi, Server: s})
+	c.log.AppendMembership(eventlog.JobMembership{Job: j.ID, Phase: p, Server: s, Start: began, End: now})
+	j.locs[p] = append(j.locs[p], vertexLoc{Server: s, Bytes: v.OutputBytes})
+	j.outstanding[p]--
+	c.phaseMaybeComplete(j, p)
+}

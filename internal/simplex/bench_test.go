@@ -1,0 +1,55 @@
+package simplex
+
+import (
+	"testing"
+
+	"dctraffic/internal/linalg"
+	"dctraffic/internal/stats"
+)
+
+// tomoSized builds a feasible system shaped like the tomography problem:
+// m constraints (≈2·racks) over n = racks·(racks−1) unknowns.
+func tomoSized(racks int, seed uint64) (*linalg.Matrix, []float64) {
+	r := stats.NewRNG(seed)
+	n := racks * (racks - 1)
+	m := 2*racks + 4
+	a := linalg.NewMatrix(m, n)
+	for col := 0; col < n; col++ {
+		// Each pair hits ~4 constraints, like a ToR path.
+		for k := 0; k < 4; k++ {
+			a.Set(r.IntN(m), col, 1)
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		if r.Bool(0.1) {
+			x[i] = r.Float64() * 1e9
+		}
+	}
+	return a, a.MulVec(x)
+}
+
+// BenchmarkFeasibleBasic8Racks is the sparsity-max solve at test scale.
+func BenchmarkFeasibleBasic8Racks(b *testing.B) {
+	a, rhs := tomoSized(8, 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FeasibleBasic(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeasibleBasic32Racks approaches paper-scale structure (the
+// full 75-rack solve runs in cmd/dctomo).
+func BenchmarkFeasibleBasic32Racks(b *testing.B) {
+	a, rhs := tomoSized(32, 2)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FeasibleBasic(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

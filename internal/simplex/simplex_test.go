@@ -1,0 +1,238 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dctraffic/internal/linalg"
+	"dctraffic/internal/stats"
+)
+
+func mat(rows, cols int, vals ...float64) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	copy(m.Data, vals)
+	return m
+}
+
+func TestSolveSimpleLP(t *testing.T) {
+	// minimize -x1 - 2x2 s.t. x1 + x2 + s = 4, x2 + s2 = 3 (slacks explicit)
+	// Optimal: x1=1, x2=3, obj=-7.
+	a := mat(2, 4,
+		1, 1, 1, 0,
+		0, 1, 0, 1,
+	)
+	b := []float64{4, 3}
+	c := []float64{-1, -2, 0, 0}
+	res, err := Solve(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Obj+7) > 1e-6 {
+		t.Fatalf("obj = %v, want -7 (x=%v)", res.Obj, res.X)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-3) > 1e-6 {
+		t.Fatalf("x = %v, want [1 3 0 0]", res.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x1 = 1 and x1 = 2 simultaneously.
+	a := mat(2, 1, 1, 1)
+	b := []float64{1, 2}
+	if _, err := Solve(a, b, []float64{1}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// minimize -x1 s.t. x1 - x2 = 0: both can grow without bound.
+	a := mat(1, 2, 1, -1)
+	b := []float64{0}
+	if _, err := Solve(a, b, []float64{-1, 0}); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x1 = -5  =>  x1 = 5.
+	a := mat(1, 1, -1)
+	b := []float64{-5}
+	res, err := Solve(a, b, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-5) > 1e-9 {
+		t.Fatalf("x = %v, want [5]", res.X)
+	}
+}
+
+func TestSolveRedundantConstraints(t *testing.T) {
+	// Duplicate rows must not make the problem infeasible.
+	a := mat(3, 2,
+		1, 1,
+		1, 1,
+		1, 0,
+	)
+	b := []float64{10, 10, 4}
+	res, err := Solve(a, b, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-4) > 1e-6 || math.Abs(res.X[1]-6) > 1e-6 {
+		t.Fatalf("x = %v, want [4 6]", res.X)
+	}
+}
+
+func TestFeasibleBasicSparsity(t *testing.T) {
+	// 3 constraints over 12 variables: the BFS must have <= 3 positives.
+	r := stats.NewRNG(2)
+	a := linalg.NewMatrix(3, 12)
+	xTrue := make([]float64, 12)
+	for j := 0; j < 12; j++ {
+		a.Set(j%3, j, 1)
+		xTrue[j] = r.Float64() * 10
+	}
+	b := a.MulVec(xTrue)
+	res, err := FeasibleBasic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, v := range res.X {
+		if v > 1e-9 {
+			nonzero++
+		}
+	}
+	if nonzero > 3 {
+		t.Fatalf("BFS has %d non-zeros, want <= 3 (x=%v)", nonzero, res.X)
+	}
+	got := a.MulVec(res.X)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+			t.Fatalf("constraint %d violated: %v vs %v", i, got[i], b[i])
+		}
+	}
+}
+
+func TestPhase2ImprovesOnPhase1(t *testing.T) {
+	// min x3 s.t. x1+x3 = 2, x2+x3 = 2. Optimal has x3 = 0.
+	a := mat(2, 3,
+		1, 0, 1,
+		0, 1, 1,
+	)
+	b := []float64{2, 2}
+	res, err := Solve(a, b, []float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[2] > 1e-9 {
+		t.Fatalf("x3 = %v, want 0", res.X[2])
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// b contains zeros — classic degeneracy; Bland's rule must terminate.
+	a := mat(3, 5,
+		1, 1, 0, 1, 0,
+		1, 0, 1, 0, 0,
+		0, 1, -1, 0, 1,
+	)
+	b := []float64{1, 0, 0}
+	res, err := Solve(a, b, []float64{-1, -1, -1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.MulVec(res.X)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-7 {
+			t.Fatalf("constraint %d violated: %v vs %v", i, got[i], b[i])
+		}
+	}
+}
+
+// Property: for random feasible systems, FeasibleBasic returns a
+// non-negative solution satisfying A·x = b with at most rank(A) <= m
+// positive entries.
+func TestFeasibleBasicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		m := 2 + r.IntN(4)
+		n := m + 2 + r.IntN(10)
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			if r.Bool(0.4) {
+				a.Data[i] = 1 + r.Float64()
+			}
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			if r.Bool(0.7) {
+				xTrue[i] = r.Float64() * 50
+			}
+		}
+		b := a.MulVec(xTrue)
+		res, err := FeasibleBasic(a, b)
+		if err != nil {
+			return false
+		}
+		nonzero := 0
+		for _, v := range res.X {
+			if v < -1e-7 {
+				return false
+			}
+			if v > 1e-7 {
+				nonzero++
+			}
+		}
+		if nonzero > m {
+			return false
+		}
+		got := a.MulVec(res.X)
+		for i := range b {
+			if math.Abs(got[i]-b[i]) > 1e-5*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: phase-2 optimum is never worse than the phase-1 BFS objective.
+func TestPhase2NoWorseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		m := 2 + r.IntN(3)
+		n := m + 2 + r.IntN(6)
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			if r.Bool(0.5) {
+				a.Data[i] = 1
+			}
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.Float64() * 10
+		}
+		b := a.MulVec(xTrue)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = r.Float64()
+		}
+		bfs, err := FeasibleBasic(a, b)
+		if err != nil {
+			return false
+		}
+		opt, err := Solve(a, b, c)
+		if err != nil {
+			return false
+		}
+		return opt.Obj <= linalg.Dot(c, bfs.X)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package snmp models the coarse counter-based instrumentation the paper
+// contrasts with its server-side tracing (§2): cumulative per-interface
+// byte counters polled every few minutes, with the realities that make
+// them awkward — poll misalignment against analysis windows, missed polls,
+// and 32-bit counter wrap on fast links.
+//
+// The tomography study (§5) idealizes its input as exact per-window link
+// counts; this package provides the non-idealized path: sample the
+// simulator's link statistics like an NMS would, then reconstruct
+// per-window counts from the polls. Comparing estimators on polled versus
+// exact counts quantifies how much of tomography's failure is inherent to
+// the under-constrained problem versus the counter plumbing.
+package snmp
+
+import (
+	"math"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// Poll is one reading of a link's cumulative byte counter.
+type Poll struct {
+	At    netsim.Time
+	Value uint64 // cumulative bytes, possibly wrapped
+}
+
+// Config tunes the simulated NMS.
+type Config struct {
+	// Interval between polls (paper: "typically once every five
+	// minutes"). Default 5 minutes.
+	Interval netsim.Time
+	// JitterFrac smears each poll time by ±JitterFrac·Interval, modeling
+	// scheduling slop in the poller. Default 0.05.
+	JitterFrac float64
+	// LossProb drops a poll entirely (timeout, device busy). Default 0.
+	LossProb float64
+	// CounterBits wraps the cumulative counter at 2^CounterBits
+	// (32 for classic SNMP ifInOctets, 64 for ifHCInOctets). Default 64.
+	CounterBits uint
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 5 * 60 * 1e9
+	}
+	if c.JitterFrac < 0 {
+		c.JitterFrac = 0
+	}
+	if c.CounterBits == 0 || c.CounterBits > 64 {
+		c.CounterBits = 64
+	}
+	return c
+}
+
+// Series is the polled history of one link.
+type Series struct {
+	Link  topology.LinkID
+	Polls []Poll
+}
+
+// Collect polls the simulator's recorded per-bin link bytes for the given
+// links over [0, horizon), producing per-link counter series. The
+// simulator's bins are integrated into a cumulative counter, then sampled
+// at the (jittered) poll times.
+func Collect(st *netsim.LinkStats, links []topology.LinkID, horizon netsim.Time, cfg Config, rng *stats.RNG) []Series {
+	cfg = cfg.withDefaults()
+	var wrap uint64
+	if cfg.CounterBits < 64 {
+		wrap = uint64(1) << cfg.CounterBits
+	}
+	out := make([]Series, 0, len(links))
+	for _, l := range links {
+		bins := st.Bytes(l)
+		binSize := st.BinSize()
+		s := Series{Link: l}
+		for t := cfg.Interval; t <= horizon; t += cfg.Interval {
+			at := t
+			if cfg.JitterFrac > 0 {
+				j := (rng.Float64()*2 - 1) * cfg.JitterFrac * float64(cfg.Interval)
+				at += netsim.Time(j)
+				if at < 0 {
+					at = 0
+				}
+				if at > horizon {
+					at = horizon
+				}
+			}
+			if cfg.LossProb > 0 && rng.Bool(cfg.LossProb) {
+				continue
+			}
+			cum := cumulativeAt(bins, binSize, at)
+			v := uint64(cum)
+			if wrap > 0 {
+				v %= wrap
+			}
+			s.Polls = append(s.Polls, Poll{At: at, Value: v})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// cumulativeAt integrates the per-bin byte series up to time t, assuming
+// a uniform rate within the partially-covered bin.
+func cumulativeAt(bins []float64, binSize netsim.Time, t netsim.Time) float64 {
+	full := int(t / binSize)
+	var cum float64
+	for i := 0; i < full && i < len(bins); i++ {
+		cum += bins[i]
+	}
+	if full < len(bins) {
+		frac := float64(t%binSize) / float64(binSize)
+		cum += bins[full] * frac
+	}
+	return cum
+}
+
+// WindowBytes reconstructs the bytes a link carried during [from, to) from
+// its poll series: the counter delta between the interpolated values at
+// the window edges, handling counter wrap. It reports ok=false when the
+// series has no polls bracketing the window (reconstruction impossible).
+func (s Series) WindowBytes(from, to netsim.Time, counterBits uint) (bytes float64, ok bool) {
+	if counterBits == 0 || counterBits > 64 {
+		counterBits = 64
+	}
+	a, okA := s.valueAt(from, counterBits)
+	b, okB := s.valueAt(to, counterBits)
+	if !okA || !okB || b < a {
+		return 0, false
+	}
+	return b - a, true
+}
+
+// valueAt linearly interpolates the unwrapped counter at time t.
+func (s Series) valueAt(t netsim.Time, counterBits uint) (float64, bool) {
+	if len(s.Polls) == 0 {
+		return 0, false
+	}
+	// Unwrap the counter sequence.
+	var wrapVal float64
+	if counterBits < 64 {
+		wrapVal = math.Pow(2, float64(counterBits))
+	}
+	unwrapped := make([]float64, len(s.Polls))
+	var offset float64
+	prev := float64(s.Polls[0].Value)
+	unwrapped[0] = prev
+	for i := 1; i < len(s.Polls); i++ {
+		v := float64(s.Polls[i].Value)
+		if wrapVal > 0 && v < prev {
+			offset += wrapVal
+		}
+		prev = v
+		unwrapped[i] = v + offset
+	}
+	// Before the first poll: assume the counter started at 0 at time 0.
+	if t <= s.Polls[0].At {
+		if s.Polls[0].At == 0 {
+			return unwrapped[0], true
+		}
+		frac := float64(t) / float64(s.Polls[0].At)
+		return unwrapped[0] * frac, true
+	}
+	for i := 1; i < len(s.Polls); i++ {
+		if t <= s.Polls[i].At {
+			span := float64(s.Polls[i].At - s.Polls[i-1].At)
+			if span == 0 {
+				return unwrapped[i], true
+			}
+			frac := float64(t-s.Polls[i-1].At) / span
+			return unwrapped[i-1] + frac*(unwrapped[i]-unwrapped[i-1]), true
+		}
+	}
+	// Past the last poll: cannot extrapolate reliably.
+	return 0, false
+}
+
+// WindowCounts reconstructs per-link byte counts for [from, to) across a
+// set of series, in series order; links whose reconstruction failed get 0
+// and are reported in the second return.
+func WindowCounts(series []Series, from, to netsim.Time, counterBits uint) (counts []float64, missing int) {
+	counts = make([]float64, len(series))
+	for i, s := range series {
+		v, ok := s.WindowBytes(from, to, counterBits)
+		if !ok {
+			missing++
+			continue
+		}
+		counts[i] = v
+	}
+	return counts, missing
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function built from samples.
+// The zero value is an empty CDF; Add samples then call any query method
+// (queries sort lazily).
+type CDF struct {
+	xs     []float64
+	ws     []float64 // optional weights, parallel to xs; nil means weight 1
+	sorted bool
+	totalW float64
+}
+
+// NewCDF builds a CDF from unweighted samples. The input is copied.
+func NewCDF(samples []float64) *CDF {
+	c := &CDF{}
+	for _, x := range samples {
+		c.Add(x)
+	}
+	return c
+}
+
+// Add appends one unweighted sample.
+func (c *CDF) Add(x float64) { c.AddWeighted(x, 1) }
+
+// AddWeighted appends a sample with the given non-negative weight. Weighted
+// CDFs express "fraction of bytes" style distributions (e.g. Figure 9's
+// bytes-weighted flow-duration CDF).
+func (c *CDF) AddWeighted(x, w float64) {
+	if w < 0 {
+		panic("stats: negative CDF weight")
+	}
+	c.xs = append(c.xs, x)
+	c.ws = append(c.ws, w)
+	c.totalW += w
+	c.sorted = false
+}
+
+// N reports the number of samples.
+func (c *CDF) N() int { return len(c.xs) }
+
+// TotalWeight reports the sum of sample weights.
+func (c *CDF) TotalWeight() float64 { return c.totalW }
+
+func (c *CDF) ensureSorted() {
+	if c.sorted {
+		return
+	}
+	idx := make([]int, len(c.xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return c.xs[idx[a]] < c.xs[idx[b]] })
+	xs := make([]float64, len(c.xs))
+	ws := make([]float64, len(c.ws))
+	for i, j := range idx {
+		xs[i] = c.xs[j]
+		ws[i] = c.ws[j]
+	}
+	c.xs, c.ws = xs, ws
+	c.sorted = true
+}
+
+// P returns the fraction of total weight at or below x: P(X <= x).
+// It returns 0 for an empty CDF.
+func (c *CDF) P(x float64) float64 {
+	if len(c.xs) == 0 || c.totalW == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.xs, x)
+	// Advance over ties equal to x (SearchFloat64s gives first >= x).
+	w := 0.0
+	for j := 0; j < i; j++ {
+		w += c.ws[j]
+	}
+	for j := i; j < len(c.xs) && c.xs[j] == x; j++ {
+		w += c.ws[j]
+	}
+	return w / c.totalW
+}
+
+// Quantile returns the smallest sample x with P(X <= x) >= q, for q in
+// (0, 1]. Quantile(0) returns the minimum sample.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	if q <= 0 {
+		return c.xs[0]
+	}
+	target := q * c.totalW
+	w := 0.0
+	for i, x := range c.xs {
+		w += c.ws[i]
+		if w >= target {
+			return x
+		}
+	}
+	return c.xs[len(c.xs)-1]
+}
+
+// Points returns up to n (x, P(X<=x)) pairs evenly spaced in rank, suitable
+// for plotting. It always includes the first and last samples.
+func (c *CDF) Points(n int) []Point {
+	if len(c.xs) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensureSorted()
+	if n > len(c.xs) {
+		n = len(c.xs)
+	}
+	pts := make([]Point, 0, n)
+	cum := make([]float64, len(c.xs))
+	w := 0.0
+	for i := range c.xs {
+		w += c.ws[i]
+		cum[i] = w / c.totalW
+	}
+	for k := 0; k < n; k++ {
+		i := k * (len(c.xs) - 1) / max(n-1, 1)
+		pts = append(pts, Point{X: c.xs[i], Y: cum[i]})
+	}
+	return pts
+}
+
+// Point is an (x, y) pair of a plotted series.
+type Point struct {
+	X, Y float64
+}
+
+// TSV renders points as tab-separated "x\ty" lines.
+func TSV(pts []Point) string {
+	var b strings.Builder
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%g\t%g\n", p.X, p.Y)
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a one-dimensional probability distribution that can be sampled
+// with an explicit random stream. Implementations are immutable and safe
+// for concurrent use with distinct RNGs.
+type Dist interface {
+	// Sample draws one variate using r.
+	Sample(r *RNG) float64
+	// Mean reports the distribution mean (may be +Inf for heavy tails).
+	Mean() float64
+}
+
+// Exponential is an exponential distribution with the given Rate (λ).
+type Exponential struct {
+	Rate float64
+}
+
+// Sample draws an exponential variate.
+func (d Exponential) Sample(r *RNG) float64 { return r.ExpFloat64() / d.Rate }
+
+// Mean reports 1/λ.
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+// Lognormal is a lognormal distribution: exp(N(Mu, Sigma²)).
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws a lognormal variate.
+func (d Lognormal) Sample(r *RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.NormFloat64())
+}
+
+// Mean reports exp(μ + σ²/2).
+func (d Lognormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// LognormalFromMedianP90 constructs a lognormal from its median and 90th
+// percentile, a convenient parameterization for workload knobs.
+func LognormalFromMedianP90(median, p90 float64) Lognormal {
+	if median <= 0 || p90 <= median {
+		panic(fmt.Sprintf("stats: invalid lognormal median=%v p90=%v", median, p90))
+	}
+	// ln X ~ N(ln median, σ²); P90 of N is μ + 1.2815516σ.
+	sigma := (math.Log(p90) - math.Log(median)) / 1.2815515655446004
+	return Lognormal{Mu: math.Log(median), Sigma: sigma}
+}
+
+// Pareto is a (bounded) Pareto distribution with scale Xm, shape Alpha and
+// optional upper truncation Max (0 means unbounded).
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+	Max   float64
+}
+
+// Sample draws a Pareto variate by inversion; when Max > 0 the inverse CDF
+// of the truncated distribution is used (no rejection loop).
+func (d Pareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	if d.Max > 0 {
+		// Truncated Pareto inverse CDF.
+		hm := math.Pow(d.Xm/d.Max, d.Alpha)
+		return d.Xm / math.Pow(1-u*(1-hm), 1/d.Alpha)
+	}
+	return d.Xm / math.Pow(1-u, 1/d.Alpha)
+}
+
+// Mean reports the distribution mean (+Inf when Alpha <= 1 and unbounded).
+func (d Pareto) Mean() float64 {
+	if d.Max > 0 {
+		if d.Alpha == 1 {
+			return d.Xm * math.Log(d.Max/d.Xm) / (1 - d.Xm/d.Max)
+		}
+		a := d.Alpha
+		num := math.Pow(d.Xm, a) / (1 - math.Pow(d.Xm/d.Max, a))
+		return num * a / (a - 1) * (1/math.Pow(d.Xm, a-1) - 1/math.Pow(d.Max, a-1))
+	}
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Uniform is a uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws a uniform variate.
+func (d Uniform) Sample(r *RNG) float64 { return d.Lo + r.Float64()*(d.Hi-d.Lo) }
+
+// Mean reports the midpoint.
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct {
+	V float64
+}
+
+// Sample returns V.
+func (d Constant) Sample(*RNG) float64 { return d.V }
+
+// Mean returns V.
+func (d Constant) Mean() float64 { return d.V }
+
+// Poisson draws a Poisson-distributed count with the given mean. It uses
+// Knuth's method for small means and a normal approximation with continuity
+// correction for large means, which is adequate for workload generation.
+func Poisson(r *RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(mean + math.Sqrt(mean)*r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf samples an integer in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes nothing; for hot paths use NewZipf.
+type Zipf struct {
+	n       int
+	cum     []float64 // cumulative weights, normalized
+	S       float64
+	created bool
+}
+
+// NewZipf constructs a Zipf sampler over [0,n) with exponent s >= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs n > 0")
+	}
+	z := &Zipf{n: n, S: s, created: true}
+	z.cum = make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z
+}
+
+// Sample draws a rank in [0,n).
+func (z *Zipf) Sample(r *RNG) int {
+	if !z.created {
+		panic("stats: use NewZipf")
+	}
+	u := r.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N reports the support size.
+func (z *Zipf) N() int { return z.n }

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleN(d Dist, n int, seed uint64) []float64 {
+	r := NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	return xs
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{Rate: 0.5}
+	xs := sampleN(d, 200000, 1)
+	if m := Mean(xs); math.Abs(m-2) > 0.05 {
+		t.Fatalf("exponential(0.5) sample mean %v, want ~2", m)
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	d := Lognormal{Mu: math.Log(10), Sigma: 1.3}
+	xs := sampleN(d, 200000, 2)
+	if med := Median(xs); math.Abs(med-10)/10 > 0.05 {
+		t.Fatalf("lognormal median %v, want ~10", med)
+	}
+}
+
+func TestLognormalFromMedianP90(t *testing.T) {
+	d := LognormalFromMedianP90(100, 1000)
+	xs := sampleN(d, 400000, 3)
+	med, p90 := Median(xs), Percentile(xs, 90)
+	if math.Abs(med-100)/100 > 0.05 {
+		t.Fatalf("median %v, want ~100", med)
+	}
+	if math.Abs(p90-1000)/1000 > 0.08 {
+		t.Fatalf("p90 %v, want ~1000", p90)
+	}
+}
+
+func TestLognormalFromMedianP90Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p90 <= median")
+		}
+	}()
+	LognormalFromMedianP90(10, 5)
+}
+
+func TestParetoSupport(t *testing.T) {
+	d := Pareto{Xm: 4, Alpha: 1.2, Max: 1e6}
+	r := NewRNG(4)
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(r)
+		if v < 4 || v > 1e6 {
+			t.Fatalf("truncated Pareto sample %v outside [4, 1e6]", v)
+		}
+	}
+}
+
+func TestParetoUnboundedMean(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 2.5}
+	xs := sampleN(d, 500000, 5)
+	want := d.Mean() // 2.5/1.5
+	if m := Mean(xs); math.Abs(m-want)/want > 0.05 {
+		t.Fatalf("Pareto sample mean %v, want ~%v", m, want)
+	}
+	if h := (Pareto{Xm: 1, Alpha: 0.9}); !math.IsInf(h.Mean(), 1) {
+		t.Fatal("heavy Pareto mean should be +Inf")
+	}
+}
+
+func TestParetoIsHeavyTailed(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 1.1, Max: 1e9}
+	xs := sampleN(d, 200000, 6)
+	// For a heavy tail the max should dominate the median by orders of
+	// magnitude.
+	if Max(xs) < 1000*Median(xs) {
+		t.Fatalf("expected heavy tail: max=%v median=%v", Max(xs), Median(xs))
+	}
+}
+
+func TestUniformAndConstant(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	xs := sampleN(u, 100000, 7)
+	if m := Mean(xs); math.Abs(m-4) > 0.05 {
+		t.Fatalf("uniform mean %v, want ~4", m)
+	}
+	if Min(xs) < 2 || Max(xs) >= 6 {
+		t.Fatalf("uniform out of range: [%v, %v]", Min(xs), Max(xs))
+	}
+	c := Constant{V: 3.5}
+	if c.Sample(NewRNG(1)) != 3.5 || c.Mean() != 3.5 {
+		t.Fatal("Constant misbehaved")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(8)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		n := 60000
+		s := 0
+		for i := 0; i < n; i++ {
+			s += Poisson(r, mean)
+		}
+		got := float64(s) / float64(n)
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Fatalf("Poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if Poisson(r, 0) != 0 || Poisson(r, -1) != 0 {
+		t.Fatal("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := NewRNG(9)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[50]*10 {
+		t.Fatalf("Zipf rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+	// s=0 must be uniform-ish.
+	u := NewZipf(10, 0)
+	uc := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		uc[u.Sample(r)]++
+	}
+	for i, c := range uc {
+		if math.Abs(float64(c)-10000) > 600 {
+			t.Fatalf("Zipf(s=0) bin %d count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(37, 1.2)
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := z.Sample(r)
+			if v < 0 || v >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lognormal samples are always positive, Pareto samples >= Xm.
+func TestPositivityProperties(t *testing.T) {
+	f := func(seed uint64, mu float64, sigmaRaw float64) bool {
+		sigma := math.Mod(math.Abs(sigmaRaw), 3)
+		mu = math.Mod(mu, 10)
+		r := NewRNG(seed)
+		ln := Lognormal{Mu: mu, Sigma: sigma}
+		pa := Pareto{Xm: 2, Alpha: 1.5}
+		for i := 0; i < 50; i++ {
+			if ln.Sample(r) <= 0 {
+				return false
+			}
+			if pa.Sample(r) < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// xs and ys. It returns 0 when either side has zero variance or the slices
+// are shorter than two elements. It panics if the lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// LinFit fits y = a + b·x by ordinary least squares and returns (a, b).
+// With fewer than two points it returns (y0, 0).
+func LinFit(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) {
+		panic("stats: LinFit length mismatch")
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return ys[0], 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return my, 0
+	}
+	b = sxy / sxx
+	return my - b*mx, b
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic: the maximum
+// absolute difference between the empirical CDFs of a and b. Used to
+// quantify how closely model-generated distributions match measured ones.
+// Returns 1 when either sample is empty (maximal distance by convention).
+func KolmogorovSmirnov(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(as) && j < len(bs) {
+		var x float64
+		if as[i] <= bs[j] {
+			x = as[i]
+		} else {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// LogFit fits y = a + b·ln(x) by least squares over the points with x > 0
+// and returns (a, b). The paper's Figure 13 overlays such a logarithmic
+// best-fit on the error-vs-sparsity scatter.
+func LogFit(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) {
+		panic("stats: LogFit length mismatch")
+	}
+	var lx, ly []float64
+	for i, x := range xs {
+		if x > 0 {
+			lx = append(lx, math.Log(x))
+			ly = append(ly, ys[i])
+		}
+	}
+	return LinFit(lx, ly)
+}

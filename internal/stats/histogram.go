@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with equal-width bins.
+// Samples outside the range are counted in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []float64
+	Underflow float64
+	Overflow  float64
+}
+
+// NewHistogram creates a histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, n)}
+}
+
+// Add records one observation with weight 1.
+func (h *Histogram) Add(x float64) { h.AddWeighted(x, 1) }
+
+// AddWeighted records one observation with weight w.
+func (h *Histogram) AddWeighted(x, w float64) {
+	switch {
+	case x < h.Lo:
+		h.Underflow += w
+	case x >= h.Hi:
+		h.Overflow += w
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard FP edge at x == Hi-ulp
+			i--
+		}
+		h.Counts[i] += w
+	}
+}
+
+// Total reports the total in-range weight.
+func (h *Histogram) Total() float64 {
+	t := 0.0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Density returns the histogram normalized to a probability density
+// (in-range mass integrates to 1) as plot points.
+func (h *Histogram) Density() []Point {
+	t := h.Total()
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	pts := make([]Point, len(h.Counts))
+	for i, c := range h.Counts {
+		y := 0.0
+		if t > 0 {
+			y = c / t / w
+		}
+		pts[i] = Point{X: h.BinCenter(i), Y: y}
+	}
+	return pts
+}
+
+// Frequencies returns raw bin counts as plot points.
+func (h *Histogram) Frequencies() []Point {
+	pts := make([]Point, len(h.Counts))
+	for i, c := range h.Counts {
+		pts[i] = Point{X: h.BinCenter(i), Y: c}
+	}
+	return pts
+}
+
+// LogHistogram bins observations by natural log, i.e. bin i covers
+// [exp(Lo + i·w), exp(Lo + (i+1)·w)). The paper's Figure 3 plots the
+// distribution of loge(Bytes) of traffic-matrix entries; AddBytes places a
+// raw byte count into the right log bin.
+type LogHistogram struct {
+	H Histogram
+}
+
+// NewLogHistogram creates n bins covering loge values in [lo, hi), e.g.
+// NewLogHistogram(0, 28, 56) covers byte counts from 1 to e^28.
+func NewLogHistogram(lo, hi float64, n int) *LogHistogram {
+	return &LogHistogram{H: *NewHistogram(lo, hi, n)}
+}
+
+// AddBytes records a raw (positive) value by its natural logarithm.
+func (l *LogHistogram) AddBytes(v float64) {
+	if v <= 0 {
+		l.H.Underflow++
+		return
+	}
+	l.H.Add(math.Log(v))
+}
+
+// Density returns the normalized density over loge(value).
+func (l *LogHistogram) Density() []Point { return l.H.Density() }
+
+// Frequencies returns raw bin counts over loge(value).
+func (l *LogHistogram) Frequencies() []Point { return l.H.Frequencies() }
+
+// Total reports total in-range weight.
+func (l *LogHistogram) Total() float64 { return l.H.Total() }

@@ -1,0 +1,87 @@
+// Package stats provides deterministic randomness, probability
+// distributions, and descriptive statistics used throughout dctraffic.
+//
+// Every stochastic component of the simulator draws from an RNG created by
+// NewRNG or forked with (*RNG).Fork, so that a whole simulation run is a
+// pure function of its seed. Forked streams are independent: forking uses a
+// splitmix64 step over the parent seed plus a label hash, so two streams
+// with different labels never collide even when forked from the same parent.
+package stats
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random number stream.
+//
+// The zero value is not usable; construct with NewRNG.
+type RNG struct {
+	src  *rand.Rand
+	seed uint64
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{
+		src:  rand.New(rand.NewPCG(splitmix64(seed), splitmix64(seed^0x9e3779b97f4a7c15))),
+		seed: seed,
+	}
+}
+
+// Seed reports the seed this stream was created with.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// Fork derives an independent stream identified by label. Forking does not
+// consume randomness from the parent, so adding a new consumer does not
+// perturb existing ones — a property the simulator relies on for
+// reproducible experiments when components are added.
+func (r *RNG) Fork(label string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return NewRNG(splitmix64(r.seed ^ h.Sum64()))
+}
+
+// ForkN derives an independent stream identified by label and an index,
+// for per-entity streams (per server, per job, ...).
+func (r *RNG) ForkN(label string, n int) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return NewRNG(splitmix64(r.seed^h.Sum64()) + splitmix64(uint64(n)+0x5bf03635))
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Int64N returns a uniform int64 in [0,n). It panics if n <= 0.
+func (r *RNG) Int64N(n int64) int64 { return r.src.Int64N(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// NormFloat64 returns a standard normal variate.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 { return r.src.ExpFloat64() }
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it is a strong
+// 64-bit mixing function used to decorrelate seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

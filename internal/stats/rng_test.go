@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	f1 := parent.Fork("alpha")
+	f2 := parent.Fork("beta")
+	f1again := NewRNG(7).Fork("alpha")
+	if f1.Uint64() != f1again.Uint64() {
+		t.Fatal("fork with the same label from the same seed is not reproducible")
+	}
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks with distinct labels produced the same stream")
+	}
+}
+
+func TestForkDoesNotConsumeParent(t *testing.T) {
+	p1, p2 := NewRNG(9), NewRNG(9)
+	p1.Fork("x")
+	p1.ForkN("y", 3)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("forking consumed randomness from the parent stream")
+	}
+}
+
+func TestForkNDistinct(t *testing.T) {
+	parent := NewRNG(11)
+	seen := map[uint64]int{}
+	for i := 0; i < 200; i++ {
+		v := parent.ForkN("server", i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("ForkN(%d) and ForkN(%d) produced the same first draw", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 returned %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v, want ~0.3", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestInt64NAndShuffle(t *testing.T) {
+	r := NewRNG(21)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int64N(7); v < 0 || v >= 7 {
+			t.Fatalf("Int64N out of range: %d", v)
+		}
+	}
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatal("shuffle duplicated an element")
+		}
+		seen[v] = true
+	}
+	if r.Seed() == 0 {
+		t.Fatal("seed not recorded")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	NewZipf(0, 1)
+}

@@ -1,0 +1,342 @@
+// Package te operationalizes the traffic-engineering discussion of §4.3:
+// the paper argues that per-flow centralized scheduling is hard in a
+// datacenter — the cluster sees on the order of 100 flow arrivals per
+// millisecond and most flows are gone within seconds, so a scheduler must
+// decide absurdly fast to avoid lag — and that scheduling application
+// units or making "simple random choices" (VLB/ECMP-style) is the
+// practical alternative.
+//
+// The evaluation replays a flow trace over a two-layer multipath fabric
+// (every ToR wired to every aggregation switch, VL2-like) and compares
+// path selectors on load balance and on the decision throughput they
+// require:
+//
+//   - RandomChoice: pick an aggregation switch uniformly per flow (the
+//     distributed, stateless baseline);
+//   - PerJob: one choice per job, applied to all its flows (scheduling
+//     application units);
+//   - LeastLoaded: a centralized per-flow scheduler that sees link loads
+//     but makes each decision after a configurable latency — stale
+//     information and decision backlog are exactly what the paper warns
+//     about.
+package te
+
+import (
+	"fmt"
+	"sort"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+// Fabric is the multipath evaluation topology: Racks ToRs each wired to
+// Aggs aggregation switches with LinkBps up- and downlinks.
+type Fabric struct {
+	Racks   int
+	Aggs    int
+	LinkBps float64
+}
+
+// NewFabric validates and returns a fabric.
+func NewFabric(racks, aggs int, linkBps float64) (*Fabric, error) {
+	if racks <= 0 || aggs <= 0 || linkBps <= 0 {
+		return nil, fmt.Errorf("te: invalid fabric %d racks, %d aggs, %v bps", racks, aggs, linkBps)
+	}
+	return &Fabric{Racks: racks, Aggs: aggs, LinkBps: linkBps}, nil
+}
+
+// numLinks is up + down links: racks*aggs each way.
+func (f *Fabric) numLinks() int { return 2 * f.Racks * f.Aggs }
+
+// upLink indexes the ToR r → agg a link; downLink the agg a → ToR r link.
+func (f *Fabric) upLink(r, a int) int   { return r*f.Aggs + a }
+func (f *Fabric) downLink(r, a int) int { return f.Racks*f.Aggs + r*f.Aggs + a }
+
+// Flow is the replay unit: a cross-rack transfer.
+type Flow struct {
+	SrcRack, DstRack int
+	Bytes            float64
+	Start, End       netsim.Time
+	Job              int
+}
+
+// FlowsFromRecords converts trace records to replay flows, dropping
+// intra-rack and external traffic (which never crosses the agg layer).
+func FlowsFromRecords(records []trace.FlowRecord, top *topology.Topology) []Flow {
+	var out []Flow
+	for _, r := range records {
+		rs, rd := top.Rack(r.Src), top.Rack(r.Dst)
+		if rs < 0 || rd < 0 || rs == rd {
+			continue
+		}
+		out = append(out, Flow{
+			SrcRack: int(rs), DstRack: int(rd),
+			Bytes: float64(r.Bytes), Start: r.Start, End: r.End,
+			Job: r.Tag.Job,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Selector picks the aggregation switch for a flow. Implementations may
+// carry state (link loads, decision queues).
+type Selector interface {
+	// Name identifies the selector in results.
+	Name() string
+	// Choose returns the agg index for the flow, given the current
+	// per-link allocated rates (bytes/sec, indexed as Fabric links).
+	Choose(f Flow, linkRate []float64) int
+}
+
+// RandomChoice is the stateless distributed selector.
+type RandomChoice struct {
+	Fabric *Fabric
+	RNG    *stats.RNG
+}
+
+// Name implements Selector.
+func (s *RandomChoice) Name() string { return "random" }
+
+// Choose implements Selector.
+func (s *RandomChoice) Choose(Flow, []float64) int { return s.RNG.IntN(s.Fabric.Aggs) }
+
+// PerJob pins all of a job's flows to one agg (scheduling application
+// units rather than flows).
+type PerJob struct {
+	Fabric *Fabric
+	RNG    *stats.RNG
+	assign map[int]int
+}
+
+// Name implements Selector.
+func (s *PerJob) Name() string { return "per-job" }
+
+// Choose implements Selector.
+func (s *PerJob) Choose(f Flow, _ []float64) int {
+	if s.assign == nil {
+		s.assign = make(map[int]int)
+	}
+	a, ok := s.assign[f.Job]
+	if !ok {
+		a = s.RNG.IntN(s.Fabric.Aggs)
+		s.assign[f.Job] = a
+	}
+	return a
+}
+
+// Decisions reports how many distinct scheduling decisions were made (one
+// per job, vs one per flow for the others).
+func (s *PerJob) Decisions() int { return len(s.assign) }
+
+// LeastLoaded is the centralized per-flow scheduler: it picks the agg
+// minimizing the max of the flow's two link rates, but each decision uses
+// link state as of Latency ago — the staleness a real controller suffers
+// from measurement and decision lag. With zero latency it is omniscient.
+type LeastLoaded struct {
+	Fabric  *Fabric
+	Latency netsim.Time
+
+	// stale holds the delayed link-state snapshots.
+	snapshots []snapshot
+}
+
+type snapshot struct {
+	at   netsim.Time
+	rate []float64
+}
+
+// Name implements Selector.
+func (s *LeastLoaded) Name() string {
+	if s.Latency <= 0 {
+		return "least-loaded"
+	}
+	return fmt.Sprintf("least-loaded+%v", s.Latency)
+}
+
+// Choose implements Selector.
+func (s *LeastLoaded) Choose(f Flow, linkRate []float64) int {
+	view := linkRate
+	if s.Latency > 0 {
+		// Record the current state and use the newest snapshot older
+		// than Latency.
+		cp := append([]float64(nil), linkRate...)
+		s.snapshots = append(s.snapshots, snapshot{at: f.Start, rate: cp})
+		cutoff := f.Start - s.Latency
+		view = nil
+		for i := len(s.snapshots) - 1; i >= 0; i-- {
+			if s.snapshots[i].at <= cutoff {
+				view = s.snapshots[i].rate
+				// Drop anything older; it can never be selected again.
+				s.snapshots = s.snapshots[i:]
+				break
+			}
+		}
+		if view == nil {
+			view = make([]float64, len(linkRate)) // no old-enough info yet
+		}
+	}
+	best, bestLoad := 0, 0.0
+	for a := 0; a < s.Fabric.Aggs; a++ {
+		up := view[s.Fabric.upLink(f.SrcRack, a)]
+		down := view[s.Fabric.downLink(f.DstRack, a)]
+		load := up
+		if down > load {
+			load = down
+		}
+		if a == 0 || load < bestLoad {
+			best, bestLoad = a, load
+		}
+	}
+	return best
+}
+
+// Result summarizes one replay.
+type Result struct {
+	Selector string
+	// MaxUtilization is the peak link utilization across links and time
+	// bins.
+	MaxUtilization float64
+	// P99Utilization is the 99th percentile over (link, bin) samples
+	// with traffic.
+	P99Utilization float64
+	// Imbalance is the mean over bins of max-link/mean-link rate (1 is
+	// perfectly balanced).
+	Imbalance float64
+	// DecisionsPerSec is the scheduler decision throughput the replay
+	// demanded (flows per second for per-flow selectors).
+	DecisionsPerSec float64
+	Flows           int
+}
+
+// Replay pushes flows through the fabric under the selector, spreading
+// each flow's bytes uniformly over its lifetime, and measures per-bin link
+// utilization. binSize controls the measurement granularity.
+func Replay(f *Fabric, flowsIn []Flow, sel Selector, binSize, horizon netsim.Time) Result {
+	if binSize <= 0 || horizon <= 0 {
+		panic("te: need positive bin and horizon")
+	}
+	nBins := int((horizon + binSize - 1) / binSize)
+	// bytes[link][bin]
+	bytes := make([][]float64, f.numLinks())
+	for i := range bytes {
+		bytes[i] = make([]float64, nBins)
+	}
+	// Instantaneous allocated rate per link, updated per arrival assuming
+	// uniform spreading (adequate for load-balance comparison).
+	linkRate := make([]float64, f.numLinks())
+	type release struct {
+		at   netsim.Time
+		link int
+		rate float64
+	}
+	var pending []release // sorted by at (flows arrive in start order)
+	pi := 0
+	decisions := 0
+	for _, fl := range flowsIn {
+		// Release expired rates.
+		for pi < len(pending) && pending[pi].at <= fl.Start {
+			linkRate[pending[pi].link] -= pending[pi].rate
+			pi++
+		}
+		a := sel.Choose(fl, linkRate)
+		decisions++
+		if a < 0 || a >= f.Aggs {
+			panic("te: selector returned invalid agg")
+		}
+		dur := fl.End - fl.Start
+		if dur <= 0 {
+			dur = 1
+		}
+		rate := fl.Bytes / dur.Seconds()
+		up := f.upLink(fl.SrcRack, a)
+		down := f.downLink(fl.DstRack, a)
+		for _, l := range []int{up, down} {
+			linkRate[l] += rate
+			pending = append(pending, release{at: fl.End, link: l, rate: rate})
+			spreadBins(bytes[l], fl.Start, fl.End, rate, binSize, horizon)
+		}
+		// Keep pending sorted by release time (ends are not ordered).
+		for j := len(pending) - 1; j > pi && pending[j].at < pending[j-1].at; j-- {
+			pending[j], pending[j-1] = pending[j-1], pending[j]
+		}
+	}
+	// Utilization samples.
+	capPerBin := f.LinkBps / 8 * binSize.Seconds()
+	var samples []float64
+	maxUtil := 0.0
+	imbalanceSum, imbalanceBins := 0.0, 0
+	for b := 0; b < nBins; b++ {
+		maxLink, sum, active := 0.0, 0.0, 0
+		for l := range bytes {
+			v := bytes[l][b]
+			if v <= 0 {
+				continue
+			}
+			u := v / capPerBin
+			samples = append(samples, u)
+			if u > maxUtil {
+				maxUtil = u
+			}
+			if v > maxLink {
+				maxLink = v
+			}
+			sum += v
+			active++
+		}
+		if active > 1 && sum > 0 {
+			imbalanceSum += maxLink / (sum / float64(active))
+			imbalanceBins++
+		}
+	}
+	res := Result{
+		Selector:        sel.Name(),
+		MaxUtilization:  maxUtil,
+		P99Utilization:  stats.Percentile(samples, 99),
+		Flows:           len(flowsIn),
+		DecisionsPerSec: float64(decisions) / horizon.Seconds(),
+	}
+	if pj, ok := sel.(*PerJob); ok {
+		res.DecisionsPerSec = float64(pj.Decisions()) / horizon.Seconds()
+	}
+	if imbalanceBins > 0 {
+		res.Imbalance = imbalanceSum / float64(imbalanceBins)
+	}
+	return res
+}
+
+// spreadBins accrues rate bytes/sec over [start, end) into bins.
+func spreadBins(bins []float64, start, end netsim.Time, rate float64, binSize, horizon netsim.Time) {
+	if end > horizon {
+		end = horizon
+	}
+	for t := start; t < end; {
+		idx := int(t / binSize)
+		if idx >= len(bins) {
+			break
+		}
+		binEnd := netsim.Time(idx+1) * binSize
+		if binEnd > end {
+			binEnd = end
+		}
+		bins[idx] += rate * (binEnd - t).Seconds()
+		t = binEnd
+	}
+}
+
+// Compare replays the same flows under all the paper-relevant selectors
+// and returns their results: random, per-job, omniscient least-loaded,
+// and least-loaded with the given decision latencies.
+func Compare(f *Fabric, flowsIn []Flow, seed uint64, binSize, horizon netsim.Time, latencies ...netsim.Time) []Result {
+	out := []Result{
+		Replay(f, flowsIn, &RandomChoice{Fabric: f, RNG: stats.NewRNG(seed)}, binSize, horizon),
+		Replay(f, flowsIn, &PerJob{Fabric: f, RNG: stats.NewRNG(seed + 1)}, binSize, horizon),
+		Replay(f, flowsIn, &LeastLoaded{Fabric: f}, binSize, horizon),
+	}
+	for _, lat := range latencies {
+		out = append(out, Replay(f, flowsIn, &LeastLoaded{Fabric: f, Latency: lat}, binSize, horizon))
+	}
+	return out
+}

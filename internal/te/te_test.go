@@ -1,0 +1,189 @@
+package te
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+func fabric(t *testing.T) *Fabric {
+	t.Helper()
+	f, err := NewFabric(8, 4, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFabricValidation(t *testing.T) {
+	for _, c := range [][3]float64{{0, 4, 1e9}, {8, 0, 1e9}, {8, 4, 0}} {
+		if _, err := NewFabric(int(c[0]), int(c[1]), c[2]); err == nil {
+			t.Errorf("fabric %v should be rejected", c)
+		}
+	}
+}
+
+func TestLinkIndexing(t *testing.T) {
+	f := fabric(t)
+	seen := map[int]bool{}
+	for r := 0; r < f.Racks; r++ {
+		for a := 0; a < f.Aggs; a++ {
+			for _, l := range []int{f.upLink(r, a), f.downLink(r, a)} {
+				if l < 0 || l >= f.numLinks() || seen[l] {
+					t.Fatalf("bad or duplicate link index %d", l)
+				}
+				seen[l] = true
+			}
+		}
+	}
+	if len(seen) != f.numLinks() {
+		t.Fatalf("indexed %d links, want %d", len(seen), f.numLinks())
+	}
+}
+
+// uniformFlows builds a steady all-to-all workload.
+func uniformFlows(f *Fabric, n int, bytes float64, seed uint64) []Flow {
+	r := stats.NewRNG(seed)
+	out := make([]Flow, 0, n)
+	for i := 0; i < n; i++ {
+		src := r.IntN(f.Racks)
+		dst := (src + 1 + r.IntN(f.Racks-1)) % f.Racks
+		start := netsim.Time(r.IntN(10000)) * time.Millisecond
+		out = append(out, Flow{
+			SrcRack: src, DstRack: dst, Bytes: bytes,
+			Start: start, End: start + time.Second,
+			Job: i % 20,
+		})
+	}
+	return out
+}
+
+func TestReplayConservesBytes(t *testing.T) {
+	f := fabric(t)
+	flows := uniformFlows(f, 200, 1e6, 1)
+	sel := &RandomChoice{Fabric: f, RNG: stats.NewRNG(2)}
+	res := Replay(f, flows, sel, time.Second, 12*time.Second)
+	if res.Flows != 200 {
+		t.Fatalf("flows = %d", res.Flows)
+	}
+	if res.MaxUtilization <= 0 {
+		t.Fatal("no utilization recorded")
+	}
+}
+
+func TestLeastLoadedBeatsRandomOnAdversarialLoad(t *testing.T) {
+	f := fabric(t)
+	// Heavy flows all from rack 0 to rack 1 — random will collide on some
+	// agg; an omniscient least-loaded selector spreads them perfectly.
+	var flows []Flow
+	for i := 0; i < 64; i++ {
+		start := netsim.Time(i) * 10 * time.Millisecond
+		flows = append(flows, Flow{
+			SrcRack: 0, DstRack: 1, Bytes: 1.25e9, // 1 s at 10 Gbps
+			Start: start, End: start + 8*time.Second, Job: i,
+		})
+	}
+	horizon := 20 * time.Second
+	random := Replay(f, flows, &RandomChoice{Fabric: f, RNG: stats.NewRNG(3)}, time.Second, horizon)
+	omniscient := Replay(f, flows, &LeastLoaded{Fabric: f}, time.Second, horizon)
+	if omniscient.MaxUtilization >= random.MaxUtilization {
+		t.Fatalf("least-loaded (%v) should beat random (%v) on adversarial load",
+			omniscient.MaxUtilization, random.MaxUtilization)
+	}
+	if omniscient.Imbalance > random.Imbalance {
+		t.Fatalf("least-loaded imbalance %v > random %v", omniscient.Imbalance, random.Imbalance)
+	}
+}
+
+func TestStaleLeastLoadedDegrades(t *testing.T) {
+	f := fabric(t)
+	var flows []Flow
+	for i := 0; i < 64; i++ {
+		start := netsim.Time(i) * 10 * time.Millisecond
+		flows = append(flows, Flow{
+			SrcRack: 0, DstRack: 1, Bytes: 1.25e9,
+			Start: start, End: start + 8*time.Second, Job: i,
+		})
+	}
+	horizon := 20 * time.Second
+	fresh := Replay(f, flows, &LeastLoaded{Fabric: f}, time.Second, horizon)
+	// With latency longer than the whole burst, the scheduler sees no
+	// load at all and piles everything on agg 0 — worse than random.
+	stale := Replay(f, flows, &LeastLoaded{Fabric: f, Latency: 10 * time.Second}, time.Second, horizon)
+	if stale.MaxUtilization <= fresh.MaxUtilization {
+		t.Fatalf("stale max util %v should exceed fresh %v", stale.MaxUtilization, fresh.MaxUtilization)
+	}
+}
+
+func TestPerJobDecisionEconomy(t *testing.T) {
+	f := fabric(t)
+	flows := uniformFlows(f, 1000, 1e6, 4) // 20 jobs
+	horizon := 12 * time.Second
+	pj := &PerJob{Fabric: f, RNG: stats.NewRNG(5)}
+	res := Replay(f, flows, pj, time.Second, horizon)
+	rand := Replay(f, flows, &RandomChoice{Fabric: f, RNG: stats.NewRNG(6)}, time.Second, horizon)
+	// Per-job needs ~20 decisions; per-flow needs 1000.
+	if res.DecisionsPerSec >= rand.DecisionsPerSec/10 {
+		t.Fatalf("per-job decisions/s %v should be far below per-flow %v",
+			res.DecisionsPerSec, rand.DecisionsPerSec)
+	}
+	// All of a job's flows share an agg.
+	if pj.Decisions() != 20 {
+		t.Fatalf("distinct job decisions = %d, want 20", pj.Decisions())
+	}
+}
+
+func TestFlowsFromRecords(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	ext := topology.ServerID(top.NumServers())
+	records := []trace.FlowRecord{
+		{Src: 0, Dst: 15, Bytes: 100, Start: time.Second, End: 2 * time.Second, Tag: netsim.FlowTag{Job: 7}},
+		{Src: 0, Dst: 1, Bytes: 100},   // intra-rack: dropped
+		{Src: ext, Dst: 0, Bytes: 100}, // external: dropped
+		{Src: 25, Dst: 5, Bytes: 100, Start: 0, End: time.Second},
+	}
+	flows := FlowsFromRecords(records, top)
+	if len(flows) != 2 {
+		t.Fatalf("got %d flows, want 2", len(flows))
+	}
+	// Sorted by start.
+	if flows[0].SrcRack != 2 || flows[1].Job != 7 {
+		t.Fatalf("flows = %+v", flows)
+	}
+}
+
+func TestCompareRunsAllSelectors(t *testing.T) {
+	f := fabric(t)
+	flows := uniformFlows(f, 300, 1e6, 7)
+	results := Compare(f, flows, 1, time.Second, 12*time.Second, 100*time.Millisecond)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Selector] = true
+		if r.Flows != 300 {
+			t.Fatalf("selector %s saw %d flows", r.Selector, r.Flows)
+		}
+	}
+	for _, want := range []string{"random", "per-job", "least-loaded", "least-loaded+100ms"} {
+		if !names[want] {
+			t.Fatalf("missing selector %q in %v", want, names)
+		}
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	f := fabric(t)
+	flows := uniformFlows(f, 500, 1e6, 9)
+	a := Replay(f, flows, &RandomChoice{Fabric: f, RNG: stats.NewRNG(11)}, time.Second, 12*time.Second)
+	b := Replay(f, flows, &RandomChoice{Fabric: f, RNG: stats.NewRNG(11)}, time.Second, 12*time.Second)
+	if math.Abs(a.MaxUtilization-b.MaxUtilization) > 1e-12 || a.Imbalance != b.Imbalance {
+		t.Fatal("replay not deterministic")
+	}
+}

@@ -1,0 +1,183 @@
+package tm
+
+import (
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// EntryStats is Figure 3's view of a server-level TM: the distribution of
+// non-zero entry sizes split by rack locality, and the probability that a
+// server pair exchanged no traffic at all (the measure that makes the two
+// distributions genuinely different — the paper reports ≈89% zero within
+// racks and ≈99.5% across).
+type EntryStats struct {
+	WithinRack      []float64 // non-zero bytes for same-rack ordered pairs
+	AcrossRack      []float64 // non-zero bytes for cross-rack ordered pairs
+	PZeroWithinRack float64
+	PZeroAcrossRack float64
+}
+
+// ComputeEntryStats analyzes the cluster-server block of a host TM
+// (external hosts are ignored; the paper's Figure 3 is about servers).
+func ComputeEntryStats(m *Matrix, top *topology.Topology) EntryStats {
+	n := top.NumServers()
+	if m.N() < n {
+		panic("tm: matrix smaller than cluster")
+	}
+	var es EntryStats
+	var withinPairs, acrossPairs, withinNonZero, acrossNonZero int
+	perRack := top.Config().ServersPerRack
+	// Pair counts come from topology combinatorics; entry values from the
+	// sparse matrix, so the scan is O(racks + nonzero) not O(n²).
+	racks := top.NumRacks()
+	withinPairs = racks * perRack * (perRack - 1)
+	acrossPairs = n*(n-1) - withinPairs
+	m.ForEach(func(s, d int, b float64) {
+		if s >= n || d >= n || s == d {
+			return
+		}
+		if top.SameRack(topology.ServerID(s), topology.ServerID(d)) {
+			es.WithinRack = append(es.WithinRack, b)
+			withinNonZero++
+		} else {
+			es.AcrossRack = append(es.AcrossRack, b)
+			acrossNonZero++
+		}
+	})
+	if withinPairs > 0 {
+		es.PZeroWithinRack = 1 - float64(withinNonZero)/float64(withinPairs)
+	}
+	if acrossPairs > 0 {
+		es.PZeroAcrossRack = 1 - float64(acrossNonZero)/float64(acrossPairs)
+	}
+	return es
+}
+
+// LogHistograms renders the Figure 3 panels: density of loge(Bytes) for
+// within- and across-rack non-zero entries.
+func (es EntryStats) LogHistograms(bins int) (within, across []stats.Point) {
+	hw := stats.NewLogHistogram(0, 30, bins)
+	ha := stats.NewLogHistogram(0, 30, bins)
+	for _, v := range es.WithinRack {
+		hw.AddBytes(v)
+	}
+	for _, v := range es.AcrossRack {
+		ha.AddBytes(v)
+	}
+	return hw.Density(), ha.Density()
+}
+
+// CorrespondentStats is Figure 4's view: for each server, the fraction of
+// possible peers it exchanged traffic with, split by rack locality.
+type CorrespondentStats struct {
+	FracWithin        []float64 // per server: fraction of its rack peers contacted
+	FracAcross        []float64 // per server: fraction of out-of-rack servers contacted
+	MedianWithinCount float64   // median number of in-rack correspondents
+	MedianAcrossCount float64   // median number of out-of-rack correspondents
+}
+
+// ComputeCorrespondents analyzes a host TM at server level. A
+// correspondent is a server exchanged traffic with in either direction.
+func ComputeCorrespondents(m *Matrix, top *topology.Topology) CorrespondentStats {
+	n := top.NumServers()
+	if m.N() < n {
+		panic("tm: matrix smaller than cluster")
+	}
+	peers := make([]map[int]bool, n)
+	for i := range peers {
+		peers[i] = make(map[int]bool)
+	}
+	m.ForEach(func(s, d int, b float64) {
+		if s >= n || d >= n || s == d {
+			return
+		}
+		peers[s][d] = true
+		peers[d][s] = true
+	})
+	perRack := top.Config().ServersPerRack
+	cs := CorrespondentStats{
+		FracWithin: make([]float64, n),
+		FracAcross: make([]float64, n),
+	}
+	withinCounts := make([]float64, n)
+	acrossCounts := make([]float64, n)
+	for s := 0; s < n; s++ {
+		var within, across int
+		for p := range peers[s] {
+			if top.SameRack(topology.ServerID(s), topology.ServerID(p)) {
+				within++
+			} else {
+				across++
+			}
+		}
+		withinCounts[s] = float64(within)
+		acrossCounts[s] = float64(across)
+		if perRack > 1 {
+			cs.FracWithin[s] = float64(within) / float64(perRack-1)
+		}
+		if n-perRack > 0 {
+			cs.FracAcross[s] = float64(across) / float64(n-perRack)
+		}
+	}
+	cs.MedianWithinCount = stats.Median(withinCounts)
+	cs.MedianAcrossCount = stats.Median(acrossCounts)
+	return cs
+}
+
+// PatternSummary quantifies the Figure 2 structure of a host TM: the share
+// of traffic on the rack-block diagonal (work-seeks-bandwidth), the share
+// involving external hosts (the far corner), and a scatter-gather score —
+// the fraction of servers whose row or column spans many racks.
+type PatternSummary struct {
+	WithinRackFraction float64 // bytes between same-rack servers / total
+	WithinVLANFraction float64 // bytes within a VLAN (incl. rack) / total
+	ExternalFraction   float64 // bytes with an external endpoint / total
+	ScatterGatherRows  int     // servers pushing/pulling to >= 1/4 of racks
+}
+
+// SummarizePatterns computes the pattern summary of a host TM.
+func SummarizePatterns(m *Matrix, top *topology.Topology) PatternSummary {
+	total := m.Total()
+	var ps PatternSummary
+	if total == 0 {
+		return ps
+	}
+	rackSpan := make(map[int]map[topology.RackID]bool)
+	note := func(server int, r topology.RackID) {
+		set := rackSpan[server]
+		if set == nil {
+			set = make(map[topology.RackID]bool)
+			rackSpan[server] = set
+		}
+		set[r] = true
+	}
+	var withinRack, withinVLAN, external float64
+	m.ForEach(func(s, d int, b float64) {
+		ss, ds := topology.ServerID(s), topology.ServerID(d)
+		if top.IsExternal(ss) || top.IsExternal(ds) {
+			external += b
+			return
+		}
+		if top.SameRack(ss, ds) {
+			withinRack += b
+			withinVLAN += b
+		} else if top.SameVLAN(ss, ds) {
+			withinVLAN += b
+		}
+		note(s, top.Rack(ds))
+		note(d, top.Rack(ss))
+	})
+	ps.WithinRackFraction = withinRack / total
+	ps.WithinVLANFraction = withinVLAN / total
+	ps.ExternalFraction = external / total
+	threshold := top.NumRacks() / 4
+	if threshold < 2 {
+		threshold = 2
+	}
+	for _, set := range rackSpan {
+		if len(set) >= threshold {
+			ps.ScatterGatherRows++
+		}
+	}
+	return ps
+}

@@ -1,0 +1,308 @@
+package tm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(4)
+	m.Add(0, 1, 100)
+	m.Add(0, 1, 50)
+	m.Add(2, 3, 25)
+	m.Add(1, 2, 0)  // ignored
+	m.Add(3, 0, -5) // ignored
+	if m.At(0, 1) != 150 || m.At(2, 3) != 25 || m.At(1, 0) != 0 {
+		t.Fatal("Add/At broken")
+	}
+	if m.NonZero() != 2 || m.Total() != 175 {
+		t.Fatalf("NonZero=%d Total=%v", m.NonZero(), m.Total())
+	}
+	rows := m.RowSums()
+	if rows[0] != 150 || rows[2] != 25 {
+		t.Fatalf("RowSums = %v", rows)
+	}
+	cols := m.ColSums()
+	if cols[1] != 150 || cols[3] != 25 {
+		t.Fatalf("ColSums = %v", cols)
+	}
+	vals := m.Values()
+	if len(vals) != 2 || vals[0] != 150 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestMatrixOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Add(2, 0, 1)
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	m := NewMatrix(3)
+	m.Add(0, 2, 7)
+	m.Add(1, 1, 3)
+	d := m.Dense()
+	back := FromDense(3, d)
+	if back.At(0, 2) != 7 || back.At(1, 1) != 3 || back.NonZero() != 2 {
+		t.Fatal("dense round trip broken")
+	}
+}
+
+func TestNormalizedChange(t *testing.T) {
+	a := NewMatrix(3)
+	a.Add(0, 1, 100)
+	b := a.Clone()
+	if NormalizedChange(a, b) != 0 {
+		t.Fatal("identical matrices should have zero change")
+	}
+	// Same total, different participants: change = 200/100 = 2.
+	c := NewMatrix(3)
+	c.Add(1, 2, 100)
+	if got := NormalizedChange(a, c); got != 2 {
+		t.Fatalf("participant flux change = %v, want 2", got)
+	}
+	// Doubling: |200-100|/100 = 1.
+	d := NewMatrix(3)
+	d.Add(0, 1, 200)
+	if got := NormalizedChange(a, d); got != 1 {
+		t.Fatalf("doubling change = %v, want 1", got)
+	}
+	var empty = NewMatrix(3)
+	if NormalizedChange(empty, a) != 0 {
+		t.Fatal("empty baseline should yield 0")
+	}
+}
+
+func TestVolumeFraction(t *testing.T) {
+	m := NewMatrix(10)
+	m.Add(0, 1, 75)
+	m.Add(1, 2, 10)
+	m.Add(2, 3, 10)
+	m.Add(3, 4, 5)
+	count, frac := m.VolumeFraction(0.75)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (single 75%% entry)", count)
+	}
+	if math.Abs(frac-1.0/90) > 1e-12 {
+		t.Fatalf("frac = %v, want 1/90", frac)
+	}
+	if c, _ := m.VolumeFraction(1.0); c != 4 {
+		t.Fatalf("full volume needs %d entries, want 4", c)
+	}
+	empty := NewMatrix(3)
+	if c, f := empty.VolumeFraction(0.75); c != 0 || f != 0 {
+		t.Fatal("empty matrix volume fraction should be 0")
+	}
+}
+
+func rec(src, dst topology.ServerID, bytes int64, start, end netsim.Time) trace.FlowRecord {
+	return trace.FlowRecord{Src: src, Dst: dst, Bytes: bytes, Start: start, End: end}
+}
+
+func TestServerMatrixWindow(t *testing.T) {
+	records := []trace.FlowRecord{
+		rec(0, 1, 1000, 0, 10*time.Second),              // fully inside
+		rec(2, 3, 1000, 5*time.Second, 15*time.Second),  // half inside
+		rec(4, 5, 1000, 20*time.Second, 30*time.Second), // outside
+	}
+	m := ServerMatrix(records, 10, 0, 10*time.Second)
+	if m.At(0, 1) != 1000 {
+		t.Fatalf("full flow = %v", m.At(0, 1))
+	}
+	if math.Abs(m.At(2, 3)-500) > 1 {
+		t.Fatalf("half flow = %v, want 500", m.At(2, 3))
+	}
+	if m.At(4, 5) != 0 {
+		t.Fatal("outside flow leaked into window")
+	}
+}
+
+func TestServerSeriesSpreading(t *testing.T) {
+	records := []trace.FlowRecord{
+		rec(0, 1, 300, 0, 30*time.Second),
+		rec(1, 2, 50, 35*time.Second, 35*time.Second), // instantaneous
+	}
+	series := ServerSeries(records, 5, 10*time.Second, 40*time.Second)
+	if len(series) != 4 {
+		t.Fatalf("series length %d, want 4", len(series))
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(series[i].At(0, 1)-100) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 100", i, series[i].At(0, 1))
+		}
+	}
+	if series[3].At(1, 2) != 50 {
+		t.Fatalf("instantaneous flow lost: %v", series[3].At(1, 2))
+	}
+}
+
+func TestSeriesConservesBytes(t *testing.T) {
+	r := stats.NewRNG(3)
+	var records []trace.FlowRecord
+	var want float64
+	for i := 0; i < 200; i++ {
+		start := netsim.Time(r.IntN(100)) * time.Second
+		dur := netsim.Time(1+r.IntN(50)) * time.Second
+		b := int64(1 + r.IntN(100000))
+		records = append(records, rec(topology.ServerID(r.IntN(8)), topology.ServerID(r.IntN(8)), b, start, start+dur))
+		want += float64(b)
+	}
+	series := ServerSeries(records, 8, 10*time.Second, 200*time.Second)
+	got := 0.0
+	for _, m := range series {
+		got += m.Total()
+	}
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("series total %v, want %v", got, want)
+	}
+}
+
+func TestTorMatrixExcludesIntraRackAndExternal(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	ext := topology.ServerID(top.NumServers())
+	records := []trace.FlowRecord{
+		rec(0, 1, 1000, 0, time.Second),   // same rack: excluded
+		rec(0, 15, 1000, 0, time.Second),  // rack 0 -> rack 1
+		rec(ext, 0, 1000, 0, time.Second), // external: excluded
+	}
+	m := TorMatrix(records, top, 0, time.Second)
+	if m.Total() != 1000 || m.At(0, 1) != 1000 {
+		t.Fatalf("ToR TM wrong: total=%v", m.Total())
+	}
+	for r := 0; r < top.NumRacks(); r++ {
+		if m.At(r, r) != 0 {
+			t.Fatal("ToR TM diagonal must be zero")
+		}
+	}
+}
+
+func TestChangeSeries(t *testing.T) {
+	a := NewMatrix(3)
+	a.Add(0, 1, 100)
+	b := NewMatrix(3)
+	b.Add(0, 1, 100)
+	c := NewMatrix(3)
+	c.Add(1, 2, 100)
+	out := ChangeSeries([]*Matrix{a, b, c}, 1)
+	if len(out) != 2 || out[0] != 0 || out[1] != 2 {
+		t.Fatalf("ChangeSeries = %v", out)
+	}
+	if got := ChangeSeries([]*Matrix{a}, 1); got != nil {
+		t.Fatal("short series should give nil")
+	}
+	mag := MagnitudeSeries([]*Matrix{a, c})
+	if mag[0] != 100 || mag[1] != 100 {
+		t.Fatalf("MagnitudeSeries = %v", mag)
+	}
+}
+
+func TestComputeEntryStats(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig()) // 8 racks x 10
+	m := NewMatrix(top.NumHosts())
+	m.Add(0, 1, math.Exp(10)) // within rack 0
+	m.Add(0, 2, math.Exp(12)) // within rack 0
+	m.Add(0, 15, math.Exp(8)) // across
+	es := ComputeEntryStats(m, top)
+	if len(es.WithinRack) != 2 || len(es.AcrossRack) != 1 {
+		t.Fatalf("entry split: %d within, %d across", len(es.WithinRack), len(es.AcrossRack))
+	}
+	// 8 racks * 10*9 = 720 within pairs, 2 non-zero.
+	if math.Abs(es.PZeroWithinRack-(1-2.0/720)) > 1e-12 {
+		t.Fatalf("PZeroWithinRack = %v", es.PZeroWithinRack)
+	}
+	if es.PZeroAcrossRack <= es.PZeroWithinRack {
+		t.Fatal("across-rack zeros should dominate in this matrix")
+	}
+	within, across := es.LogHistograms(30)
+	if len(within) != 30 || len(across) != 30 {
+		t.Fatal("histogram sizing broken")
+	}
+}
+
+func TestComputeCorrespondents(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	m := NewMatrix(top.NumHosts())
+	// Server 0 talks to 3 in-rack peers and 4 out-of-rack servers.
+	m.Add(0, 1, 1)
+	m.Add(0, 2, 1)
+	m.Add(3, 0, 1) // reverse direction still counts
+	m.Add(0, 15, 1)
+	m.Add(0, 25, 1)
+	m.Add(35, 0, 1)
+	m.Add(0, 45, 1)
+	cs := ComputeCorrespondents(m, top)
+	if math.Abs(cs.FracWithin[0]-3.0/9) > 1e-12 {
+		t.Fatalf("FracWithin[0] = %v, want 3/9", cs.FracWithin[0])
+	}
+	if math.Abs(cs.FracAcross[0]-4.0/70) > 1e-12 {
+		t.Fatalf("FracAcross[0] = %v, want 4/70", cs.FracAcross[0])
+	}
+}
+
+func TestSummarizePatterns(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	m := NewMatrix(top.NumHosts())
+	m.Add(0, 1, 700)  // within rack
+	m.Add(0, 15, 200) // rack 0 -> rack 1, same VLAN
+	m.Add(0, 75, 50)  // rack 0 -> rack 7
+	ext := top.NumServers()
+	m.Add(ext, 0, 50) // external ingest
+	ps := SummarizePatterns(m, top)
+	if math.Abs(ps.WithinRackFraction-0.7) > 1e-12 {
+		t.Fatalf("WithinRackFraction = %v", ps.WithinRackFraction)
+	}
+	if math.Abs(ps.WithinVLANFraction-0.9) > 1e-12 {
+		t.Fatalf("WithinVLANFraction = %v", ps.WithinVLANFraction)
+	}
+	if math.Abs(ps.ExternalFraction-0.05) > 1e-12 {
+		t.Fatalf("ExternalFraction = %v", ps.ExternalFraction)
+	}
+	empty := SummarizePatterns(NewMatrix(top.NumHosts()), top)
+	if empty.WithinRackFraction != 0 {
+		t.Fatal("empty matrix should summarize to zeros")
+	}
+}
+
+// Property: NormalizedChange is 0 for identical matrices, symmetric in
+// support, and equals 2 when matrices have equal totals and disjoint
+// support.
+func TestNormalizedChangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 4 + r.IntN(6)
+		a := NewMatrix(n)
+		b := NewMatrix(n)
+		total := 0.0
+		for i := 0; i < 5; i++ {
+			v := 1 + r.Float64()*100
+			a.Add(r.IntN(n/2), r.IntN(n), v)
+			total += v
+		}
+		// b: same total, support shifted into rows >= n/2 (disjoint).
+		remaining := total
+		for i := 0; i < 4; i++ {
+			v := remaining / 4
+			b.Add(n/2+r.IntN(n-n/2), r.IntN(n), v)
+		}
+		if NormalizedChange(a, a.Clone()) != 0 {
+			return false
+		}
+		got := NormalizedChange(a, b)
+		return math.Abs(got-2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

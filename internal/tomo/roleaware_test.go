@@ -1,0 +1,156 @@
+package tomo
+
+import (
+	"testing"
+	"time"
+
+	"dctraffic/internal/eventlog"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+func TestRoleAwareMultiplierDirected(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	log := &eventlog.Log{}
+	// Job 1: phase 0 (extract) on rack 0, phase 2 (aggregate) on rack 1.
+	log.AppendMembership(eventlog.JobMembership{Job: 1, Phase: 0, Server: 0, Start: 0, End: time.Hour})
+	log.AppendMembership(eventlog.JobMembership{Job: 1, Phase: 1, Server: 5, Start: 0, End: time.Hour})
+	log.AppendMembership(eventlog.JobMembership{Job: 1, Phase: 2, Server: 15, Start: 0, End: time.Hour})
+	mult := RoleAwareMultiplier(log, top, 0, time.Hour, 5)
+	p := NewProblem(top)
+	if len(mult) != p.NumPairs() {
+		t.Fatalf("multiplier length %d", len(mult))
+	}
+	get := func(src, dst int) float64 {
+		for i, pr := range p.pairs {
+			if pr.src == src && pr.dst == dst {
+				return mult[i]
+			}
+		}
+		t.Fatalf("pair (%d,%d) not found", src, dst)
+		return 0
+	}
+	// Phase 1 (rack 0) feeds phase 2 (rack 1): the 0→1 direction is
+	// boosted; the reverse is not (phase 2 has no downstream).
+	if get(0, 1) <= 1 {
+		t.Fatalf("downstream direction not boosted: %v", get(0, 1))
+	}
+	if get(1, 0) != 1 {
+		t.Fatalf("upstream direction should stay 1: %v", get(1, 0))
+	}
+	// Unrelated pairs untouched.
+	if get(3, 4) != 1 {
+		t.Fatalf("unrelated pair boosted: %v", get(3, 4))
+	}
+}
+
+func TestRoleAwareMultiplierEmptyWindow(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	log := &eventlog.Log{}
+	log.AppendMembership(eventlog.JobMembership{Job: 1, Phase: 0, Server: 0, Start: 0, End: time.Minute})
+	mult := RoleAwareMultiplier(log, top, time.Hour, 2*time.Hour, 5)
+	for _, v := range mult {
+		if v != 1 {
+			t.Fatal("out-of-window membership leaked")
+		}
+	}
+}
+
+func TestRoleAwareOracleImprovesEstimate(t *testing.T) {
+	// Build truth that flows rack0→rack1 and rack2→rack3; a role-aware
+	// prior matching those directions must beat plain tomogravity.
+	top := topology.MustNew(topology.SmallConfig())
+	p := NewProblem(top)
+	truth := p.TMFromVec(make([]float64, p.NumPairs()))
+	truth.Add(0, 1, 5e9)
+	truth.Add(2, 3, 3e9)
+	b := p.LinkCounts(truth)
+	xTrue := p.VecFromTM(truth)
+
+	log := &eventlog.Log{}
+	// Job 1 phase 1 on rack 0, phase 2 on rack 1.
+	log.AppendMembership(eventlog.JobMembership{Job: 1, Phase: 1, Server: 2, Start: 0, End: time.Hour})
+	log.AppendMembership(eventlog.JobMembership{Job: 1, Phase: 2, Server: 12, Start: 0, End: time.Hour})
+	// Job 2 phase 1 on rack 2, phase 2 on rack 3.
+	log.AppendMembership(eventlog.JobMembership{Job: 2, Phase: 1, Server: 22, Start: 0, End: time.Hour})
+	log.AppendMembership(eventlog.JobMembership{Job: 2, Phase: 2, Server: 32, Start: 0, End: time.Hour})
+
+	mult := RoleAwareMultiplier(log, top, 0, time.Hour, 8)
+	plain, err := p.Tomogravity(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	role, err := p.TomogravityWithMultiplier(b, mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePlain := RMSRE(xTrue, plain, 0.75)
+	eRole := RMSRE(xTrue, role, 0.75)
+	if eRole >= ePlain {
+		t.Fatalf("role-aware prior (%v) should beat plain tomogravity (%v) when roles match traffic", eRole, ePlain)
+	}
+}
+
+func TestNoisyLinkCounts(t *testing.T) {
+	b := []float64{100, 200, 300, 0}
+	exact := NoisyLinkCounts(b, stats.NewRNG(1), 0)
+	for i := range b {
+		if exact[i] != b[i] {
+			t.Fatal("zero noise should copy exactly")
+		}
+	}
+	exact[0] = -1
+	if b[0] != 100 {
+		t.Fatal("NoisyLinkCounts must not alias the input")
+	}
+	// With noise: mean preserved, variance present, zeros stay zero.
+	r := stats.NewRNG(2)
+	var sum float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		noisy := NoisyLinkCounts(b[:1], r, 0.2)
+		sum += noisy[0]
+		if noisy[0] <= 0 {
+			t.Fatal("multiplicative noise keeps counters positive")
+		}
+	}
+	mean := sum / trials
+	if mean < 95 || mean > 105 {
+		t.Fatalf("noise is biased: mean %v, want ~100", mean)
+	}
+	noisy := NoisyLinkCounts(b, r, 0.2)
+	if noisy[3] != 0 {
+		t.Fatal("zero counters stay zero")
+	}
+}
+
+func TestTomographyDegradesWithCounterNoise(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	p := NewProblem(top)
+	truth := p.TMFromVec(make([]float64, p.NumPairs()))
+	r := stats.NewRNG(3)
+	for i := 0; i < 10; i++ {
+		truth.Add(r.IntN(top.NumRacks()), r.IntN(top.NumRacks()), 1e9*(0.5+r.Float64()))
+	}
+	b := p.LinkCounts(truth)
+	xTrue := p.VecFromTM(truth)
+	errAt := func(relStd float64) float64 {
+		// Average a few noise draws to smooth the comparison.
+		var sum float64
+		const trials = 5
+		nr := stats.NewRNG(4)
+		for i := 0; i < trials; i++ {
+			est, err := p.Tomogravity(NoisyLinkCounts(b, nr, relStd))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += RMSRE(xTrue, est, 0.75)
+		}
+		return sum / trials
+	}
+	clean := errAt(0)
+	noisy := errAt(0.3)
+	if noisy <= clean {
+		t.Fatalf("30%% counter noise should raise RMSRE: clean %v, noisy %v", clean, noisy)
+	}
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func multipathConfig() Config {
+	cfg := SmallConfig()
+	cfg.MultiPath = true
+	cfg.AggSwitches = 4
+	return cfg
+}
+
+func TestMultiPathLinkCount(t *testing.T) {
+	cfg := multipathConfig()
+	top := MustNew(cfg)
+	// 2 per server + 2 per (rack,agg) + 2 per agg + 2 per external.
+	want := 2*top.NumServers() + 2*cfg.Racks*cfg.AggSwitches + 2*cfg.AggSwitches + 2*cfg.ExternalHosts
+	if got := top.NumLinks(); got != want {
+		t.Fatalf("NumLinks = %d, want %d", got, want)
+	}
+	// Per-agg uplink capacity is the tree budget split evenly.
+	per := cfg.TorUplinkBps / float64(cfg.AggSwitches)
+	if got := top.Link(top.TorUplink(0)).CapacityBps; got != per {
+		t.Fatalf("per-agg uplink capacity %v, want %v", got, per)
+	}
+	if len(top.TorUplinks(0)) != cfg.AggSwitches || len(top.TorDownlinks(0)) != cfg.AggSwitches {
+		t.Fatal("TorUplinks should list one link per agg")
+	}
+}
+
+func TestMultiPathNoHomeAgg(t *testing.T) {
+	top := MustNew(multipathConfig())
+	if top.Agg(0) != -1 {
+		t.Fatal("multipath racks have no home agg")
+	}
+}
+
+func TestMultiPathECMPSpreads(t *testing.T) {
+	cfg := multipathConfig()
+	top := MustNew(cfg)
+	src := top.RackServers(0)[0]
+	dst := top.RackServers(3)[0]
+	seen := map[LinkID]bool{}
+	for key := uint64(0); key < 64; key++ {
+		p := top.PathK(src, dst, key)
+		if len(p) != 4 {
+			t.Fatalf("multipath cross-rack path length %d, want 4", len(p))
+		}
+		seen[p[1]] = true // the ToR→agg hop
+	}
+	if len(seen) != cfg.AggSwitches {
+		t.Fatalf("ECMP used %d of %d aggs", len(seen), cfg.AggSwitches)
+	}
+}
+
+func TestMultiPathDeterministicPerKey(t *testing.T) {
+	top := MustNew(multipathConfig())
+	f := func(a, b uint8, key uint64) bool {
+		src := ServerID(int(a) % top.NumHosts())
+		dst := ServerID(int(b) % top.NumHosts())
+		p1 := top.PathK(src, dst, key)
+		p2 := top.PathK(src, dst, key)
+		if len(p1) != len(p2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPathUpDownSameAgg(t *testing.T) {
+	// A flow must go up to agg a and come down from the same agg a.
+	cfg := multipathConfig()
+	top := MustNew(cfg)
+	src := top.RackServers(1)[0]
+	dst := top.RackServers(5)[0]
+	for key := uint64(0); key < 16; key++ {
+		p := top.PathK(src, dst, key)
+		up := top.Link(p[1]).Name   // torX->aggA
+		down := top.Link(p[2]).Name // aggA->torY
+		aggOfUp := up[len(up)-1]
+		aggOfDown := down[3]
+		if aggOfUp != aggOfDown {
+			t.Fatalf("up via agg %c, down via agg %c: %v / %v", aggOfUp, aggOfDown, up, down)
+		}
+	}
+}
+
+func TestMultiPathExternalPaths(t *testing.T) {
+	top := MustNew(multipathConfig())
+	ext := ServerID(top.NumServers())
+	p := top.PathK(ext, 0, 3)
+	kinds := []LinkKind{ExtUp, AggDown, TorDown, ServerDown}
+	if len(p) != len(kinds) {
+		t.Fatalf("ext->server path %v", p)
+	}
+	for i, id := range p {
+		if top.Link(id).Kind != kinds[i] {
+			t.Fatalf("hop %d kind %v, want %v", i, top.Link(id).Kind, kinds[i])
+		}
+	}
+}
+
+func TestMultiPathTorPathUsesPairHash(t *testing.T) {
+	top := MustNew(multipathConfig())
+	p1 := top.TorPath(0, 3)
+	p2 := top.TorPath(0, 3)
+	if len(p1) != 2 || p1[0] != p2[0] || p1[1] != p2[1] {
+		t.Fatalf("ToR pair path not deterministic: %v vs %v", p1, p2)
+	}
+}
+
+func TestMultiPathBisection(t *testing.T) {
+	cfg := multipathConfig()
+	top := MustNew(cfg)
+	want := float64(cfg.Racks) * cfg.TorUplinkBps / 2
+	if got := top.BisectionBps(); got != want {
+		t.Fatalf("bisection %v, want %v", got, want)
+	}
+}

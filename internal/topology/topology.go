@@ -1,0 +1,483 @@
+// Package topology models the datacenter cluster fabric of the paper's
+// Figure 1: tens of servers per rack behind a top-of-rack (ToR) switch,
+// ToRs connected to a small number of high-degree aggregation switches,
+// aggregation switches joined by a core (IP) router, and a handful of
+// external servers (data uploaders / result pullers) hanging off the core.
+//
+// Links are directed so that up- and down-stream utilization are tracked
+// separately, matching how SNMP byte counters are reported per interface
+// direction. Routing is deterministic shortest-path up/down the tree.
+package topology
+
+import (
+	"fmt"
+)
+
+// ServerID identifies a server (or an external host) in the cluster.
+// Cluster servers are numbered 0..NumServers-1; external hosts follow.
+type ServerID int
+
+// RackID identifies a rack and, equivalently, its ToR switch.
+type RackID int
+
+// LinkID indexes a directed link in the topology.
+type LinkID int
+
+// LinkKind classifies a directed link by its position in the tree.
+type LinkKind uint8
+
+// Link kinds, from the edge to the core.
+const (
+	ServerUp   LinkKind = iota // server → ToR
+	ServerDown                 // ToR → server
+	TorUp                      // ToR → aggregation switch
+	TorDown                    // aggregation switch → ToR
+	AggUp                      // aggregation switch → core router
+	AggDown                    // core router → aggregation switch
+	ExtUp                      // external host → core router
+	ExtDown                    // core router → external host
+)
+
+// String returns the kind name.
+func (k LinkKind) String() string {
+	switch k {
+	case ServerUp:
+		return "server-up"
+	case ServerDown:
+		return "server-down"
+	case TorUp:
+		return "tor-up"
+	case TorDown:
+		return "tor-down"
+	case AggUp:
+		return "agg-up"
+	case AggDown:
+		return "agg-down"
+	case ExtUp:
+		return "ext-up"
+	case ExtDown:
+		return "ext-down"
+	}
+	return "unknown"
+}
+
+// InterSwitch reports whether the link connects two switches (the link set
+// over which the paper reports congestion statistics).
+func (k LinkKind) InterSwitch() bool {
+	switch k {
+	case TorUp, TorDown, AggUp, AggDown:
+		return true
+	}
+	return false
+}
+
+// Link is a directed link with a capacity.
+type Link struct {
+	ID          LinkID
+	Kind        LinkKind
+	CapacityBps float64
+	Name        string // human-readable endpoint description
+}
+
+// Config parameterizes a cluster topology. The zero value is not useful;
+// use DefaultConfig (paper scale) or SmallConfig (test scale) and override.
+type Config struct {
+	Racks          int     // number of racks (= ToR switches)
+	ServersPerRack int     // paper: ~20
+	AggSwitches    int     // high-degree aggregation switches
+	RacksPerVLAN   int     // VLANs span small numbers of racks
+	ExternalHosts  int     // hosts outside the cluster, attached at the core
+	ServerLinkBps  float64 // server NIC speed (paper: 1 Gbps)
+	TorUplinkBps   float64 // total ToR → agg capacity (oversubscribed)
+	AggUplinkBps   float64 // agg → core capacity
+	ExtLinkBps     float64 // external host attachment
+
+	// MultiPath wires every ToR to every aggregation switch (VL2-style),
+	// splitting TorUplinkBps evenly across the aggs; cross-rack flows
+	// then pick an agg per flow (ECMP). The paper's cluster is the
+	// single-homed tree (false); the multipath variant supports
+	// architecture-comparison experiments.
+	MultiPath bool
+}
+
+// DefaultConfig is the paper-scale cluster: 75 racks × 20 servers ≈ 1500
+// servers, 1 Gbps server links, 4:1 oversubscription at the ToR.
+func DefaultConfig() Config {
+	return Config{
+		Racks:          75,
+		ServersPerRack: 20,
+		AggSwitches:    5,
+		RacksPerVLAN:   5,
+		ExternalHosts:  30,
+		ServerLinkBps:  1e9,
+		TorUplinkBps:   5e9, // 20 Gbps of servers behind 5 Gbps: 4:1
+		AggUplinkBps:   40e9,
+		ExtLinkBps:     1e9,
+	}
+}
+
+// SmallConfig is a laptop-scale cluster used by tests and examples:
+// 8 racks × 10 servers, same oversubscription structure.
+func SmallConfig() Config {
+	return Config{
+		Racks:          8,
+		ServersPerRack: 10,
+		AggSwitches:    2,
+		RacksPerVLAN:   2,
+		ExternalHosts:  4,
+		ServerLinkBps:  1e9,
+		TorUplinkBps:   2.5e9, // 10 Gbps of servers behind 2.5 Gbps: 4:1
+		AggUplinkBps:   10e9,
+		ExtLinkBps:     1e9,
+	}
+}
+
+// Topology is an immutable cluster fabric. Construct with New.
+type Topology struct {
+	cfg   Config
+	links []Link
+
+	// Link index blocks, precomputed for O(1) routing.
+	serverUp   []LinkID // per server
+	serverDown []LinkID
+	torUp      []LinkID // per rack (tree) or rack×agg (multipath)
+	torDown    []LinkID
+	aggUp      []LinkID // per agg switch
+	aggDown    []LinkID
+	extUp      []LinkID // per external host
+	extDown    []LinkID
+}
+
+// New validates cfg and builds the fabric.
+func New(cfg Config) (*Topology, error) {
+	if cfg.Racks <= 0 || cfg.ServersPerRack <= 0 {
+		return nil, fmt.Errorf("topology: need positive racks (%d) and servers per rack (%d)", cfg.Racks, cfg.ServersPerRack)
+	}
+	if cfg.AggSwitches <= 0 {
+		return nil, fmt.Errorf("topology: need at least one aggregation switch, got %d", cfg.AggSwitches)
+	}
+	if cfg.AggSwitches > cfg.Racks {
+		return nil, fmt.Errorf("topology: more aggregation switches (%d) than racks (%d)", cfg.AggSwitches, cfg.Racks)
+	}
+	if cfg.RacksPerVLAN <= 0 {
+		cfg.RacksPerVLAN = 1
+	}
+	if cfg.ServerLinkBps <= 0 || cfg.TorUplinkBps <= 0 || cfg.AggUplinkBps <= 0 {
+		return nil, fmt.Errorf("topology: link capacities must be positive")
+	}
+	if cfg.ExternalHosts > 0 && cfg.ExtLinkBps <= 0 {
+		return nil, fmt.Errorf("topology: external hosts need a positive link capacity")
+	}
+
+	t := &Topology{cfg: cfg}
+	n := cfg.Racks * cfg.ServersPerRack
+	t.serverUp = make([]LinkID, n)
+	t.serverDown = make([]LinkID, n)
+	for s := 0; s < n; s++ {
+		rack := s / cfg.ServersPerRack
+		t.serverUp[s] = t.addLink(ServerUp, cfg.ServerLinkBps, fmt.Sprintf("srv%d->tor%d", s, rack))
+		t.serverDown[s] = t.addLink(ServerDown, cfg.ServerLinkBps, fmt.Sprintf("tor%d->srv%d", rack, s))
+	}
+	if cfg.MultiPath {
+		// Every ToR multi-homed to every agg; the total uplink budget is
+		// split across the aggs so tree and multipath are capacity-fair.
+		per := cfg.TorUplinkBps / float64(cfg.AggSwitches)
+		t.torUp = make([]LinkID, cfg.Racks*cfg.AggSwitches)
+		t.torDown = make([]LinkID, cfg.Racks*cfg.AggSwitches)
+		for r := 0; r < cfg.Racks; r++ {
+			for a := 0; a < cfg.AggSwitches; a++ {
+				t.torUp[r*cfg.AggSwitches+a] = t.addLink(TorUp, per, fmt.Sprintf("tor%d->agg%d", r, a))
+				t.torDown[r*cfg.AggSwitches+a] = t.addLink(TorDown, per, fmt.Sprintf("agg%d->tor%d", a, r))
+			}
+		}
+	} else {
+		t.torUp = make([]LinkID, cfg.Racks)
+		t.torDown = make([]LinkID, cfg.Racks)
+		for r := 0; r < cfg.Racks; r++ {
+			agg := r % cfg.AggSwitches
+			t.torUp[r] = t.addLink(TorUp, cfg.TorUplinkBps, fmt.Sprintf("tor%d->agg%d", r, agg))
+			t.torDown[r] = t.addLink(TorDown, cfg.TorUplinkBps, fmt.Sprintf("agg%d->tor%d", agg, r))
+		}
+	}
+	t.aggUp = make([]LinkID, cfg.AggSwitches)
+	t.aggDown = make([]LinkID, cfg.AggSwitches)
+	for a := 0; a < cfg.AggSwitches; a++ {
+		t.aggUp[a] = t.addLink(AggUp, cfg.AggUplinkBps, fmt.Sprintf("agg%d->core", a))
+		t.aggDown[a] = t.addLink(AggDown, cfg.AggUplinkBps, fmt.Sprintf("core->agg%d", a))
+	}
+	t.extUp = make([]LinkID, cfg.ExternalHosts)
+	t.extDown = make([]LinkID, cfg.ExternalHosts)
+	for e := 0; e < cfg.ExternalHosts; e++ {
+		t.extUp[e] = t.addLink(ExtUp, cfg.ExtLinkBps, fmt.Sprintf("ext%d->core", e))
+		t.extDown[e] = t.addLink(ExtDown, cfg.ExtLinkBps, fmt.Sprintf("core->ext%d", e))
+	}
+	return t, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics on
+// error.
+func MustNew(cfg Config) *Topology {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Topology) addLink(kind LinkKind, cap float64, name string) LinkID {
+	id := LinkID(len(t.links))
+	t.links = append(t.links, Link{ID: id, Kind: kind, CapacityBps: cap, Name: name})
+	return id
+}
+
+// Config returns the configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// NumServers reports the number of cluster servers (excluding externals).
+func (t *Topology) NumServers() int { return t.cfg.Racks * t.cfg.ServersPerRack }
+
+// NumHosts reports cluster servers plus external hosts.
+func (t *Topology) NumHosts() int { return t.NumServers() + t.cfg.ExternalHosts }
+
+// NumRacks reports the number of racks.
+func (t *Topology) NumRacks() int { return t.cfg.Racks }
+
+// NumLinks reports the number of directed links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Links returns all directed links. The returned slice must not be modified.
+func (t *Topology) Links() []Link { return t.links }
+
+// Link returns the link with the given id.
+func (t *Topology) Link(id LinkID) Link { return t.links[id] }
+
+// IsExternal reports whether s is an external host.
+func (t *Topology) IsExternal(s ServerID) bool { return int(s) >= t.NumServers() }
+
+// externalIndex maps an external ServerID to its 0-based external index.
+func (t *Topology) externalIndex(s ServerID) int { return int(s) - t.NumServers() }
+
+// Rack returns the rack housing server s. External hosts have no rack and
+// return -1.
+func (t *Topology) Rack(s ServerID) RackID {
+	if t.IsExternal(s) {
+		return -1
+	}
+	return RackID(int(s) / t.cfg.ServersPerRack)
+}
+
+// Agg returns the aggregation switch serving rack r in the tree fabric;
+// multipath racks have no home agg and return -1.
+func (t *Topology) Agg(r RackID) int {
+	if t.cfg.MultiPath {
+		return -1
+	}
+	return int(r) % t.cfg.AggSwitches
+}
+
+// torUpLink / torDownLink return rack r's link to/from agg a, handling
+// both fabrics (the tree ignores a).
+func (t *Topology) torUpLink(r RackID, a int) LinkID {
+	if t.cfg.MultiPath {
+		return t.torUp[int(r)*t.cfg.AggSwitches+a]
+	}
+	return t.torUp[r]
+}
+
+func (t *Topology) torDownLink(r RackID, a int) LinkID {
+	if t.cfg.MultiPath {
+		return t.torDown[int(r)*t.cfg.AggSwitches+a]
+	}
+	return t.torDown[r]
+}
+
+// pairKey is the deterministic per-pair ECMP hash used when no flow key
+// is supplied.
+func pairKey(src, dst ServerID) uint64 {
+	x := uint64(src)<<32 ^ uint64(dst)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// VLAN returns the VLAN index of server s (-1 for external hosts). VLANs
+// group RacksPerVLAN consecutive racks.
+func (t *Topology) VLAN(s ServerID) int {
+	r := t.Rack(s)
+	if r < 0 {
+		return -1
+	}
+	return int(r) / t.cfg.RacksPerVLAN
+}
+
+// SameRack reports whether two hosts share a rack (false when either is
+// external).
+func (t *Topology) SameRack(a, b ServerID) bool {
+	ra, rb := t.Rack(a), t.Rack(b)
+	return ra >= 0 && ra == rb
+}
+
+// SameVLAN reports whether two hosts share a VLAN.
+func (t *Topology) SameVLAN(a, b ServerID) bool {
+	va, vb := t.VLAN(a), t.VLAN(b)
+	return va >= 0 && va == vb
+}
+
+// RackServers returns the servers in rack r in id order.
+func (t *Topology) RackServers(r RackID) []ServerID {
+	out := make([]ServerID, t.cfg.ServersPerRack)
+	base := int(r) * t.cfg.ServersPerRack
+	for i := range out {
+		out[i] = ServerID(base + i)
+	}
+	return out
+}
+
+// Path returns the directed links traversed from src to dst, in order.
+// A nil path means the hosts are the same (loopback traffic stays on box).
+// On a multipath fabric the agg is chosen by a deterministic per-pair
+// hash; use PathK to select per flow (ECMP).
+func (t *Topology) Path(src, dst ServerID) []LinkID {
+	return t.PathK(src, dst, pairKey(src, dst))
+}
+
+// PathK is Path with an explicit ECMP key (e.g. a flow id): on a
+// multipath fabric the key selects the aggregation switch; the tree
+// ignores it. Identical (src, dst, key) triples always yield the same
+// path, so per-flow paths are reconstructible from flow records.
+func (t *Topology) PathK(src, dst ServerID, key uint64) []LinkID {
+	if src == dst {
+		return nil
+	}
+	if !t.IsExternal(src) && !t.IsExternal(dst) {
+		rs, rd := t.Rack(src), t.Rack(dst)
+		if rs == rd {
+			return []LinkID{t.serverUp[src], t.serverDown[dst]}
+		}
+		if t.cfg.MultiPath {
+			a := int(key % uint64(t.cfg.AggSwitches))
+			return []LinkID{t.serverUp[src], t.torUpLink(rs, a), t.torDownLink(rd, a), t.serverDown[dst]}
+		}
+		if t.Agg(rs) == t.Agg(rd) {
+			return []LinkID{t.serverUp[src], t.torUp[rs], t.torDown[rd], t.serverDown[dst]}
+		}
+	}
+	return append(t.upPath(src, key), t.downPath(dst, key)...)
+}
+
+// upPath is the full path from a host to the core router.
+func (t *Topology) upPath(s ServerID, key uint64) []LinkID {
+	if t.IsExternal(s) {
+		return []LinkID{t.extUp[t.externalIndex(s)]}
+	}
+	r := t.Rack(s)
+	a := t.Agg(r)
+	if t.cfg.MultiPath {
+		a = int(key % uint64(t.cfg.AggSwitches))
+	}
+	return []LinkID{t.serverUp[s], t.torUpLink(r, a), t.aggUp[a]}
+}
+
+// downPath is the full path from the core router to a host.
+func (t *Topology) downPath(s ServerID, key uint64) []LinkID {
+	if t.IsExternal(s) {
+		return []LinkID{t.extDown[t.externalIndex(s)]}
+	}
+	r := t.Rack(s)
+	a := t.Agg(r)
+	if t.cfg.MultiPath {
+		a = int(key % uint64(t.cfg.AggSwitches))
+	}
+	return []LinkID{t.aggDown[a], t.torDownLink(r, a), t.serverDown[s]}
+}
+
+// TorPath returns the inter-switch links traversed by traffic from rack i's
+// ToR to rack j's ToR. It is the routing used to build the tomography
+// constraint matrix (ToR-level origin-destination flows → link counters).
+// On a multipath fabric the pair-hash agg is used (per-pair routing — the
+// approximation a counter-based method must make anyway).
+func (t *Topology) TorPath(i, j RackID) []LinkID {
+	if i == j {
+		return nil
+	}
+	if t.cfg.MultiPath {
+		a := int(pairKey(ServerID(i), ServerID(j)) % uint64(t.cfg.AggSwitches))
+		return []LinkID{t.torUpLink(i, a), t.torDownLink(j, a)}
+	}
+	if t.Agg(i) == t.Agg(j) {
+		return []LinkID{t.torUp[i], t.torDown[j]}
+	}
+	return []LinkID{t.torUp[i], t.aggUp[t.Agg(i)], t.aggDown[t.Agg(j)], t.torDown[j]}
+}
+
+// ServerUplink returns the server→ToR link of s (external hosts return
+// their core attachment).
+func (t *Topology) ServerUplink(s ServerID) LinkID {
+	if t.IsExternal(s) {
+		return t.extUp[t.externalIndex(s)]
+	}
+	return t.serverUp[s]
+}
+
+// ServerDownlink returns the ToR→server link of s.
+func (t *Topology) ServerDownlink(s ServerID) LinkID {
+	if t.IsExternal(s) {
+		return t.extDown[t.externalIndex(s)]
+	}
+	return t.serverDown[s]
+}
+
+// TorUplink returns rack r's ToR→agg link (the first one on a multipath
+// fabric; use TorUplinks for all of them).
+func (t *Topology) TorUplink(r RackID) LinkID { return t.torUpLink(r, 0) }
+
+// TorDownlink returns rack r's agg→ToR link (the first one on a multipath
+// fabric).
+func (t *Topology) TorDownlink(r RackID) LinkID { return t.torDownLink(r, 0) }
+
+// TorUplinks returns all of rack r's ToR→agg links (one on a tree).
+func (t *Topology) TorUplinks(r RackID) []LinkID {
+	if !t.cfg.MultiPath {
+		return []LinkID{t.torUp[r]}
+	}
+	out := make([]LinkID, t.cfg.AggSwitches)
+	for a := 0; a < t.cfg.AggSwitches; a++ {
+		out[a] = t.torUpLink(r, a)
+	}
+	return out
+}
+
+// TorDownlinks returns all of rack r's agg→ToR links (one on a tree).
+func (t *Topology) TorDownlinks(r RackID) []LinkID {
+	if !t.cfg.MultiPath {
+		return []LinkID{t.torDown[r]}
+	}
+	out := make([]LinkID, t.cfg.AggSwitches)
+	for a := 0; a < t.cfg.AggSwitches; a++ {
+		out[a] = t.torDownLink(r, a)
+	}
+	return out
+}
+
+// InterSwitchLinks returns the ids of all switch-to-switch links, the set
+// over which the paper reports congestion (§4.2).
+func (t *Topology) InterSwitchLinks() []LinkID {
+	var out []LinkID
+	for _, l := range t.links {
+		if l.Kind.InterSwitch() {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// BisectionBps reports the full-duplex bisection bandwidth of the fabric:
+// on the tree, the aggregate agg→core capacity; on multipath, half the
+// total ToR uplink capacity (traffic crosses the agg layer directly).
+func (t *Topology) BisectionBps() float64 {
+	if t.cfg.MultiPath {
+		return float64(t.cfg.Racks) * t.cfg.TorUplinkBps / 2
+	}
+	return float64(t.cfg.AggSwitches) * t.cfg.AggUplinkBps
+}

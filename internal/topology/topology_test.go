@@ -1,0 +1,254 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Topology {
+	t.Helper()
+	top, err := New(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Racks: -1, ServersPerRack: 10, AggSwitches: 1},
+		{Racks: 4, ServersPerRack: 10, AggSwitches: 0},
+		{Racks: 2, ServersPerRack: 10, AggSwitches: 5}, // more aggs than racks
+		{Racks: 2, ServersPerRack: 2, AggSwitches: 1},  // zero capacities
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should have been rejected: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("DefaultConfig rejected: %v", err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	top := small(t)
+	cfg := SmallConfig()
+	if got := top.NumServers(); got != cfg.Racks*cfg.ServersPerRack {
+		t.Fatalf("NumServers = %d", got)
+	}
+	if got := top.NumHosts(); got != top.NumServers()+cfg.ExternalHosts {
+		t.Fatalf("NumHosts = %d", got)
+	}
+	// 2 links per server + 2 per rack + 2 per agg + 2 per external host.
+	want := 2*top.NumServers() + 2*cfg.Racks + 2*cfg.AggSwitches + 2*cfg.ExternalHosts
+	if got := top.NumLinks(); got != want {
+		t.Fatalf("NumLinks = %d, want %d", got, want)
+	}
+}
+
+func TestRackAndVLAN(t *testing.T) {
+	top := small(t)
+	cfg := top.Config()
+	if top.Rack(0) != 0 || top.Rack(ServerID(cfg.ServersPerRack)) != 1 {
+		t.Fatal("Rack mapping broken")
+	}
+	ext := ServerID(top.NumServers())
+	if top.Rack(ext) != -1 || top.VLAN(ext) != -1 {
+		t.Fatal("external host should have no rack or VLAN")
+	}
+	if !top.SameRack(0, 1) || top.SameRack(0, ServerID(cfg.ServersPerRack)) {
+		t.Fatal("SameRack broken")
+	}
+	// Racks 0 and 1 share a VLAN in SmallConfig (RacksPerVLAN=2).
+	a, b := ServerID(0), ServerID(cfg.ServersPerRack)
+	if !top.SameVLAN(a, b) {
+		t.Fatal("racks 0 and 1 should share a VLAN")
+	}
+	c := ServerID(2 * cfg.ServersPerRack)
+	if top.SameVLAN(a, c) {
+		t.Fatal("racks 0 and 2 should not share a VLAN")
+	}
+	if top.SameRack(ext, ext) {
+		t.Fatal("externals never share a rack")
+	}
+}
+
+func TestRackServers(t *testing.T) {
+	top := small(t)
+	srvs := top.RackServers(1)
+	if len(srvs) != top.Config().ServersPerRack {
+		t.Fatalf("rack size %d", len(srvs))
+	}
+	for _, s := range srvs {
+		if top.Rack(s) != 1 {
+			t.Fatalf("server %d not in rack 1", s)
+		}
+	}
+}
+
+func TestPathSameServer(t *testing.T) {
+	top := small(t)
+	if p := top.Path(3, 3); p != nil {
+		t.Fatalf("self path should be nil, got %v", p)
+	}
+}
+
+func TestPathSameRack(t *testing.T) {
+	top := small(t)
+	p := top.Path(0, 1)
+	if len(p) != 2 {
+		t.Fatalf("intra-rack path length %d, want 2 (%v)", len(p), p)
+	}
+	if top.Link(p[0]).Kind != ServerUp || top.Link(p[1]).Kind != ServerDown {
+		t.Fatalf("intra-rack path kinds wrong: %v %v", top.Link(p[0]).Kind, top.Link(p[1]).Kind)
+	}
+}
+
+func TestPathSameAgg(t *testing.T) {
+	top := small(t) // SmallConfig: agg = rack % 2, so racks 0 and 2 share agg 0
+	src := top.RackServers(0)[0]
+	dst := top.RackServers(2)[0]
+	p := top.Path(src, dst)
+	if len(p) != 4 {
+		t.Fatalf("same-agg path length %d, want 4 (%v)", len(p), p)
+	}
+	kinds := []LinkKind{ServerUp, TorUp, TorDown, ServerDown}
+	for i, id := range p {
+		if top.Link(id).Kind != kinds[i] {
+			t.Fatalf("hop %d kind %v, want %v", i, top.Link(id).Kind, kinds[i])
+		}
+	}
+}
+
+func TestPathCrossAgg(t *testing.T) {
+	top := small(t) // racks 0 and 1 are on different aggs
+	src := top.RackServers(0)[0]
+	dst := top.RackServers(1)[0]
+	p := top.Path(src, dst)
+	if len(p) != 6 {
+		t.Fatalf("cross-agg path length %d, want 6 (%v)", len(p), p)
+	}
+	kinds := []LinkKind{ServerUp, TorUp, AggUp, AggDown, TorDown, ServerDown}
+	for i, id := range p {
+		if top.Link(id).Kind != kinds[i] {
+			t.Fatalf("hop %d kind %v, want %v", i, top.Link(id).Kind, kinds[i])
+		}
+	}
+}
+
+func TestPathExternal(t *testing.T) {
+	top := small(t)
+	ext := ServerID(top.NumServers())
+	p := top.Path(ext, 0)
+	kinds := []LinkKind{ExtUp, AggDown, TorDown, ServerDown}
+	if len(p) != len(kinds) {
+		t.Fatalf("ext->server path %v", p)
+	}
+	for i, id := range p {
+		if top.Link(id).Kind != kinds[i] {
+			t.Fatalf("hop %d kind %v, want %v", i, top.Link(id).Kind, kinds[i])
+		}
+	}
+	p = top.Path(0, ext)
+	kinds = []LinkKind{ServerUp, TorUp, AggUp, ExtDown}
+	if len(p) != len(kinds) {
+		t.Fatalf("server->ext path %v", p)
+	}
+	for i, id := range p {
+		if top.Link(id).Kind != kinds[i] {
+			t.Fatalf("hop %d kind %v, want %v", i, top.Link(id).Kind, kinds[i])
+		}
+	}
+}
+
+func TestTorPath(t *testing.T) {
+	top := small(t)
+	if p := top.TorPath(3, 3); p != nil {
+		t.Fatal("self ToR path should be nil")
+	}
+	p := top.TorPath(0, 2) // same agg
+	if len(p) != 2 || top.Link(p[0]).Kind != TorUp || top.Link(p[1]).Kind != TorDown {
+		t.Fatalf("same-agg ToR path %v", p)
+	}
+	p = top.TorPath(0, 1) // cross agg
+	if len(p) != 4 {
+		t.Fatalf("cross-agg ToR path %v", p)
+	}
+}
+
+func TestInterSwitchLinks(t *testing.T) {
+	top := small(t)
+	cfg := top.Config()
+	want := 2*cfg.Racks + 2*cfg.AggSwitches
+	got := top.InterSwitchLinks()
+	if len(got) != want {
+		t.Fatalf("InterSwitchLinks = %d, want %d", len(got), want)
+	}
+	for _, id := range got {
+		if !top.Link(id).Kind.InterSwitch() {
+			t.Fatalf("link %d kind %v is not inter-switch", id, top.Link(id).Kind)
+		}
+	}
+}
+
+func TestOversubscription(t *testing.T) {
+	top := small(t)
+	cfg := top.Config()
+	serverBps := float64(cfg.ServersPerRack) * cfg.ServerLinkBps
+	if serverBps/cfg.TorUplinkBps != 4 {
+		t.Fatalf("SmallConfig should be 4:1 oversubscribed, got %v:1", serverBps/cfg.TorUplinkBps)
+	}
+	if top.BisectionBps() != float64(cfg.AggSwitches)*cfg.AggUplinkBps {
+		t.Fatal("BisectionBps broken")
+	}
+}
+
+// Property: every path alternates consistently and every hop exists; the
+// first link leaves the source edge and the last link enters the dest edge.
+func TestPathStructureProperty(t *testing.T) {
+	top := small(t)
+	n := top.NumHosts()
+	f := func(a, b uint8) bool {
+		src := ServerID(int(a) % n)
+		dst := ServerID(int(b) % n)
+		p := top.Path(src, dst)
+		if src == dst {
+			return p == nil
+		}
+		if len(p) < 2 {
+			return false
+		}
+		if id := top.ServerUplink(src); p[0] != id {
+			return false
+		}
+		if id := top.ServerDownlink(dst); p[len(p)-1] != id {
+			return false
+		}
+		for _, id := range p {
+			if int(id) < 0 || int(id) >= top.NumLinks() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	kinds := []LinkKind{ServerUp, ServerDown, TorUp, TorDown, AggUp, AggDown, ExtUp, ExtDown}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("bad or duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if LinkKind(99).String() != "unknown" {
+		t.Fatal("unknown kind should stringify to unknown")
+	}
+}

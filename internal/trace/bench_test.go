@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// BenchmarkWriteJSONL measures trace serialization throughput.
+func BenchmarkWriteJSONL(b *testing.B) {
+	recs := sampleRecords(10_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteJSONL(io.Discard, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadJSONL measures trace parsing throughput.
+func BenchmarkReadJSONL(b *testing.B) {
+	recs := sampleRecords(10_000)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadJSONL(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteJSONLGz measures compressed-upload throughput (the §2
+// pipeline) and reports the achieved ratio.
+func BenchmarkWriteJSONLGz(b *testing.B) {
+	recs := sampleRecords(10_000)
+	b.ReportAllocs()
+	var raw, comp int64
+	for i := 0; i < b.N; i++ {
+		var err error
+		raw, comp, err = WriteJSONLGz(io.Discard, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if comp > 0 {
+		b.ReportMetric(float64(raw)/float64(comp), "compression-x")
+	}
+}
+
+// FuzzReadJSONL ensures arbitrary input never panics the parser.
+func FuzzReadJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleRecords(3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("{\"id\":1}\n{bad"))
+	f.Add([]byte("null\nnull\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadJSONL(bytes.NewReader(data)) // must not panic
+	})
+}
+
+// FuzzReadJSONLGz ensures arbitrary input never panics the gzip path.
+func FuzzReadJSONLGz(f *testing.F) {
+	var buf bytes.Buffer
+	if _, _, err := WriteJSONLGz(&buf, sampleRecords(3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("not gzip at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadJSONLGz(bytes.NewReader(data)) // must not panic
+	})
+}

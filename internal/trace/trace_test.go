@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/topology"
+)
+
+func rig() (*netsim.Network, *Collector) {
+	top := topology.MustNew(topology.SmallConfig())
+	net := netsim.New(top, netsim.Options{})
+	col := NewCollector(top, Config{})
+	net.AddObserver(col)
+	return net, col
+}
+
+func TestCollectorRecordsFlows(t *testing.T) {
+	net, col := rig()
+	net.StartFlow(0, 1, 10<<20, netsim.FlowTag{Job: 3, Kind: netsim.KindShuffle}, nil)
+	net.StartFlow(5, 25, 1<<20, netsim.FlowTag{Kind: netsim.KindControl}, nil)
+	net.RunAll()
+	recs := col.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Bytes == 0 || r.End <= r.Start {
+		t.Fatalf("bad record: %+v", r)
+	}
+	if r.Tag.Job != 3 && recs[1].Tag.Job != 3 {
+		t.Fatal("attribution tag lost")
+	}
+	if col.NumRecords() != 2 {
+		t.Fatal("NumRecords mismatch")
+	}
+}
+
+func TestRecordDurationAndRate(t *testing.T) {
+	r := FlowRecord{Start: time.Second, End: 3 * time.Second, Bytes: 250_000_000}
+	if r.Duration() != 2*time.Second {
+		t.Fatalf("Duration = %v", r.Duration())
+	}
+	if got := r.AvgRateBps(); got != 1e9 {
+		t.Fatalf("AvgRateBps = %v, want 1e9", got)
+	}
+	zero := FlowRecord{Start: time.Second, End: time.Second, Bytes: 5}
+	if zero.AvgRateBps() != 0 {
+		t.Fatal("zero-duration rate should be 0")
+	}
+}
+
+func TestExternalHostsNotInstrumented(t *testing.T) {
+	net, col := rig()
+	ext := topology.ServerID(net.Top().NumServers())
+	net.StartFlow(ext, 0, 1<<20, netsim.FlowTag{Kind: netsim.KindIngest}, nil)
+	net.RunAll()
+	// The flow is still recorded (the cluster endpoint saw it) but only
+	// cluster servers accumulate events.
+	if col.NumRecords() != 1 {
+		t.Fatal("ingress flow not recorded")
+	}
+	var clusterEvents int64
+	for _, e := range col.events {
+		clusterEvents += e
+	}
+	if clusterEvents == 0 {
+		t.Fatal("cluster endpoint recorded no events")
+	}
+}
+
+func TestOverheadModel(t *testing.T) {
+	net, col := rig()
+	// Enough traffic for non-zero medians: a flow per server pair.
+	for s := 0; s < 40; s++ {
+		net.StartFlow(topology.ServerID(s), topology.ServerID((s+17)%80), 32<<20, netsim.FlowTag{}, nil)
+	}
+	net.RunAll()
+	o := col.Overhead(time.Hour)
+	if o.TotalEvents == 0 {
+		t.Fatal("no events accounted")
+	}
+	if o.MedianCPUPct < 0 || o.MedianCPUPct > 10 {
+		t.Fatalf("CPU overhead %v%% not plausible (paper: small single digits)", o.MedianCPUPct)
+	}
+	if o.MedianDiskPct < 0 || o.MedianDiskPct > 10 {
+		t.Fatalf("disk overhead %v%%", o.MedianDiskPct)
+	}
+	if o.CompressionRatio < 3 {
+		t.Fatalf("compression ratio %v, paper reports at least 3x", o.CompressionRatio)
+	}
+	if o.UploadBytesPerServerPerDay >= o.LogBytesPerServerPerDay {
+		t.Fatal("compression should reduce upload volume")
+	}
+	if o.CyclesPerNetworkByte <= 0 || o.CyclesPerNetworkByte > 100 {
+		t.Fatalf("cycles/byte = %v", o.CyclesPerNetworkByte)
+	}
+}
+
+func TestOverheadZeroElapsed(t *testing.T) {
+	_, col := rig()
+	o := col.Overhead(0) // must not divide by zero
+	if o.TotalEvents != 0 {
+		t.Fatal("no traffic should mean no events")
+	}
+}
+
+func TestEventCountsScaleWithBytes(t *testing.T) {
+	net, col := rig()
+	net.StartFlow(0, 1, 10<<20, netsim.FlowTag{}, nil) // 10 ops
+	net.RunAll()
+	// src: connect + 10 sends + close = 12; dst likewise.
+	if col.events[0] != 12 || col.events[1] != 12 {
+		t.Fatalf("events = %d/%d, want 12/12", col.events[0], col.events[1])
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []FlowRecord{
+		{ID: 1, Src: 0, Dst: 5, SrcPort: 1024, DstPort: 443, Start: time.Second,
+			End: 2 * time.Second, Bytes: 99, Tag: netsim.FlowTag{Job: 7, Kind: netsim.KindShuffle}},
+		{ID: 2, Src: 3, Dst: 4, Start: 0, End: time.Millisecond, Bytes: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("expected 2 lines, got %d", got)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != recs[0] || back[1] != recs[1] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	recs, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatal("empty input should give empty records")
+	}
+}
