@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures day paper-day clean
+.PHONY: all build vet test test-short bench bench-snapshot figures day paper-day clean
 
 all: build vet test
 
@@ -12,15 +12,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# The default verify path: vet, the full suite, and the race detector
+# over the two packages that deliver observer callbacks.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/netsim ./internal/sched
 
 test-short:
 	$(GO) test -short ./...
 
-# One benchmark per paper table/figure plus ablations.
+# One benchmark per paper table/figure plus ablations, and the
+# per-package infrastructure benchmarks (simulator, TM, trace, solver).
 bench:
-	$(GO) test -bench . -benchmem .
+	$(GO) test -bench . -benchmem ./...
+
+# Machine-readable snapshot of the netsim allocator benchmarks, tracked
+# in-repo so future PRs can see the perf trajectory.
+bench-snapshot:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/netsim | $(GO) run ./cmd/benchjson > BENCH_netsim.json
 
 # Regenerate every figure's data series into ./figures (laptop scale, 2 h).
 figures:

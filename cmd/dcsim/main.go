@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jobsPerHour := flag.Float64("jobs", 0, "job arrivals per hour (0 = scale with cluster)")
 	out := flag.String("out", "trace.jsonl", "output flow-record file (- for stdout)")
+	full := flag.Bool("full-recompute", false, "disable the incremental allocator (A/B timing; results are identical)")
 	flag.Parse()
 
 	cfg := dctraffic.SmallRun()
@@ -42,6 +43,7 @@ func main() {
 		cfg.Sched.JobsPerHour = 150 * float64(*racks**servers) / 80
 	}
 	cfg.Sched.Seed = *seed
+	cfg.FullRecompute = *full
 
 	start := time.Now()
 	rr, err := dctraffic.Simulate(cfg)

@@ -34,6 +34,54 @@ func smallRun(t *testing.T) (*RunResult, *Report) {
 	return sharedRes, sharedRep
 }
 
+// The incremental allocator must keep the pipeline deterministic: the
+// same seed through Simulate + Analyze yields a byte-identical headline
+// digest on repeated runs.
+func TestSameSeedIdenticalDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full SmallRun simulations")
+	}
+	digest := func() []byte {
+		rr, err := Simulate(SmallRun())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := Analyze(rr, AnalyzeOptions{}).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a, b := digest(), digest()
+	if string(a) != string(b) {
+		t.Fatalf("same-seed digests differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// End-to-end A/B of the dirty-component allocator against a full
+// re-solve on every step: identical digests on a shortened run.
+func TestIncrementalAllocatorMatchesFullDigest(t *testing.T) {
+	digest := func(full bool) []byte {
+		cfg := SmallRun()
+		cfg.Duration = 20 * time.Minute
+		cfg.DrainTime = 10 * time.Minute
+		cfg.FullRecompute = full
+		rr, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := Analyze(rr, AnalyzeOptions{}).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	inc, full := digest(false), digest(true)
+	if string(inc) != string(full) {
+		t.Fatalf("incremental vs full recompute digests differ:\n%s\nvs\n%s", inc, full)
+	}
+}
+
 func TestSimulateProducesTraffic(t *testing.T) {
 	rr, _ := smallRun(t)
 	if rr.Net.FlowsCompleted() < 100 {

@@ -41,6 +41,11 @@ type RunConfig struct {
 	// runs (default exact).
 	RateRecompute netsim.Time
 
+	// FullRecompute disables the simulator's dirty-component allocator
+	// and re-solves every flow on every recompute. Results are
+	// identical; the knob exists for validation and A/B timing.
+	FullRecompute bool
+
 	Seed uint64
 }
 
@@ -107,6 +112,7 @@ func Simulate(cfg RunConfig) (*RunResult, error) {
 	net := netsim.New(top, netsim.Options{
 		StatsBinSize:         cfg.UtilBinSize,
 		MinRecomputeInterval: cfg.RateRecompute,
+		FullRecompute:        cfg.FullRecompute,
 	})
 	collector := trace.NewCollector(top, cfg.Trace)
 	net.AddObserver(collector)

@@ -17,6 +17,7 @@ package cosmos
 
 import (
 	"fmt"
+	"slices"
 
 	"dctraffic/internal/stats"
 	"dctraffic/internal/topology"
@@ -113,13 +114,15 @@ func (s *Store) Extent(id ExtentID) *Extent { return s.extents[id] }
 // Dataset returns the dataset with the given name, or nil.
 func (s *Store) Dataset(name string) *Dataset { return s.datasets[name] }
 
-// ServerExtents returns the ids of extents with a replica on s.
+// ServerExtents returns the ids of extents with a replica on s, in
+// ascending id order.
 func (s *Store) ServerExtents(srv topology.ServerID) []ExtentID {
 	m := s.byServer[srv]
 	out := make([]ExtentID, 0, len(m))
 	for id := range m {
 		out = append(out, id)
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -347,8 +350,12 @@ func (s *Store) SeedDatasetNear(name string, totalBytes int64, racks []topology.
 // automated management system copies "the usable blocks on that server").
 // Call CommitTransfer then DropReplica as each completes.
 func (s *Store) Evacuate(srv topology.ServerID) []Transfer {
+	// Plan in ascending extent order: byServer is a map, and both the
+	// transfer order and the RNG draws consumed by pickEvacTarget must
+	// not depend on map iteration order, or same-seed runs diverge at
+	// the first evacuation.
 	var out []Transfer
-	for id := range s.byServer[srv] {
+	for _, id := range s.ServerExtents(srv) {
 		e := s.extents[id]
 		dst := s.pickEvacTarget(e, srv)
 		if dst < 0 {

@@ -51,7 +51,8 @@ func BenchmarkFlowChurnBatched(b *testing.B) {
 }
 
 // BenchmarkMaxMinRecompute isolates the progressive-filling allocation
-// with 500 concurrent flows.
+// with 500 concurrent flows (the worst case: a full re-solve of every
+// flow, as if all of them just changed).
 func BenchmarkMaxMinRecompute(b *testing.B) {
 	top := topology.MustNew(topology.SmallConfig())
 	n := New(top, Options{})
@@ -65,5 +66,58 @@ func BenchmarkMaxMinRecompute(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n.recomputeRates()
+	}
+}
+
+// BenchmarkMaxMinRecomputeLarge is the full re-solve at paper scale: the
+// DefaultConfig topology (1500 servers) carrying 5000 concurrent flows.
+func BenchmarkMaxMinRecomputeLarge(b *testing.B) {
+	top := topology.MustNew(topology.DefaultConfig())
+	n := New(top, Options{})
+	r := stats.NewRNG(1)
+	for f := 0; f < 5000; f++ {
+		src := topology.ServerID(r.IntN(top.NumHosts()))
+		dst := topology.ServerID(r.IntN(top.NumHosts()))
+		n.StartFlow(src, dst, 1<<40, FlowTag{}, nil)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.recomputeRates()
+	}
+}
+
+// BenchmarkIncrementalRecompute measures the dirty-component path: one
+// rack-local flow arrives into (and is then reaped from) a steady state
+// of 5000 rack-local flows at paper scale. Only the arrival's rack
+// component is re-solved, so the cost is proportional to the component
+// (~67 flows), not the cluster — compare BenchmarkMaxMinRecomputeLarge,
+// which re-solves all 5000. Rack-local steady state mirrors the paper's
+// work-seeks-bandwidth locality; fully random traffic instead couples
+// every rack through the agg links into one component, degenerating to
+// the Large case. The Flow object accounts for the per-op allocations.
+func BenchmarkIncrementalRecompute(b *testing.B) {
+	cfg := topology.DefaultConfig()
+	top := topology.MustNew(cfg)
+	n := New(top, Options{})
+	r := stats.NewRNG(1)
+	spr := cfg.ServersPerRack
+	for f := 0; f < 5000; f++ {
+		rack := f % cfg.Racks
+		src := topology.ServerID(rack*spr + r.IntN(spr))
+		dst := topology.ServerID(rack*spr + (int(src)+1+r.IntN(spr-1))%spr)
+		n.StartFlow(src, dst, 1<<40, FlowTag{}, nil)
+	}
+	n.recomputeDirty() // reach steady state
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rack := i % cfg.Racks
+		src := topology.ServerID(rack*spr + r.IntN(spr))
+		dst := topology.ServerID(rack*spr + (int(src)+1+r.IntN(spr-1))%spr)
+		f := n.StartFlow(src, dst, 1<<40, FlowTag{}, nil)
+		n.recomputeDirty()
+		n.Cancel(f)
+		n.recomputeDirty()
 	}
 }

@@ -76,11 +76,24 @@ type Flow struct {
 	// killed); Transferred reports what actually moved.
 	Canceled bool
 
-	path      []topology.LinkID
-	remaining float64 // bytes left
-	rate      float64 // bytes/sec under the current allocation
+	path      []topology.LinkID // aliases pathBuf; at most MaxPathLen links
+	remaining float64           // bytes left
+	rate      float64           // bytes/sec under the current allocation
 	done      func(*Flow)
 	idx       int // index in Network.active, -1 once finished
+
+	// pathBuf backs path so flow creation does not allocate a path slice.
+	pathBuf [topology.MaxPathLen]topology.LinkID
+
+	// linkIdx[i] is the flow's position in Network.linkFlows[path[i]],
+	// kept current by swap-removal so retiring a flow is O(len(path)).
+	linkIdx [topology.MaxPathLen]int32
+
+	// mark and frozen are scratch for the incremental max-min solver:
+	// mark stamps the component generation that last visited the flow,
+	// frozen flags flows already fixed at their bottleneck share.
+	mark   uint64
+	frozen bool
 }
 
 // Active reports whether the flow is still transferring.

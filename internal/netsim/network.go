@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"dctraffic/internal/topology"
@@ -31,6 +31,13 @@ type Options struct {
 	// inter-switch links (the paper's congestion link set) plus all
 	// server up/downlinks when the topology is small (<= 512 hosts).
 	StatsLinks []topology.LinkID
+
+	// FullRecompute disables the dirty-component optimization and
+	// re-solves every flow on every recompute, as the original
+	// allocator did. The results are identical (components not sharing
+	// links with changed flows cannot change under max-min); the knob
+	// exists for validation and A/B timing.
+	FullRecompute bool
 }
 
 // Observer receives flow lifecycle notifications. The instrumentation
@@ -42,6 +49,12 @@ type Observer interface {
 
 // Network simulates fluid flows over a topology. Create with New; drive by
 // scheduling workload events on the embedded Sim and calling Run.
+//
+// Rate allocation is incremental: per-link flow lists are maintained at
+// flow start/retire time, and a recompute re-solves only the connected
+// component (over link sharing) of flows whose membership changed since
+// the last recompute. All solver scratch lives on the Network, so
+// steady-state recomputation performs no allocations.
 type Network struct {
 	Sim
 	top  *topology.Topology
@@ -54,6 +67,37 @@ type Network struct {
 	linkCapB  []float64 // bytes/sec capacity per link
 	linkRateB []float64 // current aggregate bytes/sec per link
 	linkBytes []float64 // cumulative bytes per link
+
+	// linkFlows[l] holds the active flows crossing link l, maintained
+	// incrementally by StartFlow and retire (swap-removal via
+	// Flow.linkIdx). Ordering is arbitrary but deterministic.
+	linkFlows [][]*Flow
+
+	// Dirty tracking: links whose flow membership changed since the
+	// last recompute. seedMark dedupes; seedLinks lists them.
+	seedLinks []topology.LinkID
+	seedMark  []bool
+
+	// Solver scratch, reused across recomputes (zero-alloc steady state).
+	linkAlloc    []float64 // progressive-filling allocation per link
+	linkUnfrozen []int32   // unfrozen flows per link
+	linkComp     []uint64  // generation stamp: link gathered this solve
+	compLinks    []topology.LinkID
+	candLinks    []topology.LinkID
+	compGen      uint64
+
+	// pendingLocal holds loopback flows started since the last
+	// recompute; they get LocalBps at the next recompute, exactly when
+	// the full solver used to assign it.
+	pendingLocal []*Flow
+
+	// activeLinks lists links with a nonzero allocated rate so advance
+	// scans loaded links only; linkActivePos[l] is l's index (-1 if
+	// absent).
+	activeLinks   []topology.LinkID
+	linkActivePos []int32
+
+	finished []*Flow // completeFinished scratch
 
 	lastAdvance        Time
 	lastRecompute      Time
@@ -74,12 +118,22 @@ func New(top *topology.Topology, opts Options) *Network {
 	if opts.LocalBps <= 0 {
 		opts.LocalBps = 8e9
 	}
+	nl := top.NumLinks()
 	n := &Network{
-		top:       top,
-		opts:      opts,
-		linkCapB:  make([]float64, top.NumLinks()),
-		linkRateB: make([]float64, top.NumLinks()),
-		linkBytes: make([]float64, top.NumLinks()),
+		top:           top,
+		opts:          opts,
+		linkCapB:      make([]float64, nl),
+		linkRateB:     make([]float64, nl),
+		linkBytes:     make([]float64, nl),
+		linkFlows:     make([][]*Flow, nl),
+		seedMark:      make([]bool, nl),
+		linkAlloc:     make([]float64, nl),
+		linkUnfrozen:  make([]int32, nl),
+		linkComp:      make([]uint64, nl),
+		linkActivePos: make([]int32, nl),
+	}
+	for i := range n.linkActivePos {
+		n.linkActivePos[i] = -1
 	}
 	for _, l := range top.Links() {
 		n.linkCapB[l.ID] = l.CapacityBps / 8
@@ -95,7 +149,7 @@ func New(top *topology.Topology, opts Options) *Network {
 				}
 			}
 		}
-		n.stats = newLinkStats(opts.StatsBinSize, top.NumLinks(), links)
+		n.stats = newLinkStats(opts.StatsBinSize, nl, links)
 	}
 	return n
 }
@@ -145,19 +199,70 @@ func (n *Network) StartFlow(src, dst topology.ServerID, bytes int64, tag FlowTag
 		SrcPort:   n.nextPort,
 		DstPort:   443, // services listen on a well-known port
 		Start:     n.Now(),
-		path:      n.top.PathK(src, dst, uint64(n.nextID)),
 		remaining: float64(bytes),
 		done:      done,
 		idx:       len(n.active),
 	}
+	f.path = n.top.AppendPathK(f.pathBuf[:0], src, dst, uint64(f.ID))
 	n.nextID++
 	n.flowsStarted++
 	n.active = append(n.active, f)
+	if len(f.path) == 0 {
+		// Loopback: rate is assigned at the next recompute, matching
+		// when a full re-solve would have assigned it.
+		n.pendingLocal = append(n.pendingLocal, f)
+	} else {
+		for i, l := range f.path {
+			f.linkIdx[i] = int32(len(n.linkFlows[l]))
+			n.linkFlows[l] = append(n.linkFlows[l], f)
+			n.seedLink(l)
+		}
+	}
 	for _, o := range n.observers {
 		o.FlowStarted(f)
 	}
 	n.markDirty()
 	return f
+}
+
+// seedLink records that link l's flow membership changed, so the next
+// recompute re-solves the component containing it.
+func (n *Network) seedLink(l topology.LinkID) {
+	if !n.seedMark[l] {
+		n.seedMark[l] = true
+		n.seedLinks = append(n.seedLinks, l)
+	}
+}
+
+// retire unlinks an active flow from the active set and the per-link flow
+// lists, seeding its links for the next recompute. Observer and callback
+// delivery is the caller's job.
+func (n *Network) retire(f *Flow) {
+	last := len(n.active) - 1
+	i := f.idx
+	n.active[i] = n.active[last]
+	n.active[i].idx = i
+	n.active[last] = nil
+	n.active = n.active[:last]
+	f.idx = -1
+	for i, l := range f.path {
+		fl := n.linkFlows[l]
+		j := int(f.linkIdx[i])
+		lastJ := len(fl) - 1
+		moved := fl[lastJ]
+		fl[j] = moved
+		fl[lastJ] = nil
+		n.linkFlows[l] = fl[:lastJ]
+		if moved != f {
+			for k, ml := range moved.path {
+				if ml == l {
+					moved.linkIdx[k] = int32(j)
+					break
+				}
+			}
+		}
+		n.seedLink(l)
+	}
 }
 
 // markDirty schedules a rate recomputation, batched by
@@ -189,25 +294,35 @@ func (n *Network) recomputeEvent() {
 func (n *Network) step() {
 	n.advance()
 	n.completeFinished()
-	n.recomputeRates()
+	n.lastRecompute = n.Now()
+	for _, f := range n.pendingLocal {
+		if f.Active() {
+			f.rate = n.opts.LocalBps / 8
+		}
+	}
+	n.pendingLocal = n.pendingLocal[:0]
+	if n.opts.FullRecompute {
+		n.recomputeRates()
+	} else {
+		n.recomputeDirty()
+	}
 	n.scheduleNextCompletion()
 }
 
 // advance accrues progress and link bytes for the time since the last
-// advance, under the rates computed at that time.
+// advance, under the rates computed at that time. Only links carrying
+// traffic (the active-link list) are visited.
 func (n *Network) advance() {
 	now := n.Now()
 	if now <= n.lastAdvance {
 		return
 	}
 	dt := (now - n.lastAdvance).Seconds()
-	for l, r := range n.linkRateB {
-		if r == 0 {
-			continue
-		}
+	for _, l := range n.activeLinks {
+		r := n.linkRateB[l]
 		n.linkBytes[l] += r * dt
 		if n.stats != nil {
-			n.stats.record(topology.LinkID(l), n.lastAdvance, now, r)
+			n.stats.record(l, n.lastAdvance, now, r)
 		}
 	}
 	for _, f := range n.active {
@@ -227,24 +342,19 @@ func (n *Network) advance() {
 const finishEps = 1e-3 // bytes
 
 func (n *Network) completeFinished() {
-	var finished []*Flow
+	finished := n.finished[:0]
 	for i := 0; i < len(n.active); {
 		f := n.active[i]
 		if f.remaining <= finishEps {
 			f.remaining = 0
 			f.End = n.Now()
-			// Swap-remove, fixing the moved flow's index.
-			last := len(n.active) - 1
-			n.active[i] = n.active[last]
-			n.active[i].idx = i
-			n.active[last] = nil
-			n.active = n.active[:last]
-			f.idx = -1
+			n.retire(f)
 			finished = append(finished, f)
 			continue
 		}
 		i++
 	}
+	n.finished = finished
 	for _, f := range finished {
 		n.flowsCompleted++
 		for _, o := range n.observers {
@@ -256,87 +366,158 @@ func (n *Network) completeFinished() {
 	}
 }
 
-// recomputeRates assigns max-min fair rates to all active flows by
-// progressive filling: repeatedly find the most-contended link, fix its
-// flows at the fair share, remove them, and continue.
-func (n *Network) recomputeRates() {
-	n.lastRecompute = n.Now()
-	for l := range n.linkRateB {
-		n.linkRateB[l] = 0
-	}
-	if len(n.active) == 0 {
+// recomputeDirty re-solves max-min shares for the connected component of
+// flows sharing links with any flow that started or ended since the last
+// recompute. Flows in disjoint components keep their rates, which is
+// exact: a max-min allocation is separable across link-disjoint
+// components, so allocations outside the affected one cannot change.
+func (n *Network) recomputeDirty() {
+	if len(n.seedLinks) == 0 {
 		return
 	}
-	localB := n.opts.LocalBps / 8
-
-	// Index flows per link; loopback flows get the local rate directly.
-	type linkState struct {
-		unfrozen int
-		alloc    float64
+	n.compGen++
+	gen := n.compGen
+	comp := n.compLinks[:0]
+	for _, l := range n.seedLinks {
+		n.seedMark[l] = false
+		if n.linkComp[l] != gen {
+			n.linkComp[l] = gen
+			comp = append(comp, l)
+		}
 	}
-	states := make(map[topology.LinkID]*linkState)
-	flowsOn := make(map[topology.LinkID][]*Flow)
-	var linkIDs []topology.LinkID // deterministic iteration order
+	n.seedLinks = n.seedLinks[:0]
+	// Close over link sharing: comp doubles as the BFS frontier.
 	unfrozen := 0
-	frozen := make(map[FlowID]bool, len(n.active))
+	for i := 0; i < len(comp); i++ {
+		for _, f := range n.linkFlows[comp[i]] {
+			if f.mark == gen {
+				continue
+			}
+			f.mark = gen
+			f.frozen = false
+			unfrozen++
+			for _, l := range f.path {
+				if n.linkComp[l] != gen {
+					n.linkComp[l] = gen
+					comp = append(comp, l)
+				}
+			}
+		}
+	}
+	// Canonical link order keeps bottleneck tie-breaking (and therefore
+	// floating-point rounding) identical to a full re-solve.
+	slices.Sort(comp)
+	n.compLinks = comp
+	n.solve(comp, unfrozen)
+}
+
+// recomputeRates re-solves every active flow from scratch (the
+// FullRecompute path, also used by benchmarks as the worst-case solve).
+func (n *Network) recomputeRates() {
+	// Drop the dirty bookkeeping: a full solve covers everything.
+	for _, l := range n.seedLinks {
+		n.seedMark[l] = false
+	}
+	n.seedLinks = n.seedLinks[:0]
+	// Rates on links whose last flow retired since the previous solve
+	// are republished by solve only if the link is gathered again, so
+	// clear the whole active set first.
+	for _, l := range n.activeLinks {
+		n.linkRateB[l] = 0
+		n.linkActivePos[l] = -1
+	}
+	n.activeLinks = n.activeLinks[:0]
+	n.compGen++
+	gen := n.compGen
+	comp := n.compLinks[:0]
+	unfrozen := 0
+	localB := n.opts.LocalBps / 8
 	for _, f := range n.active {
 		if len(f.path) == 0 {
 			f.rate = localB
-			frozen[f.ID] = true
 			continue
 		}
+		f.frozen = false
 		unfrozen++
 		for _, l := range f.path {
-			st := states[l]
-			if st == nil {
-				st = &linkState{}
-				states[l] = st
-				linkIDs = append(linkIDs, l)
+			if n.linkComp[l] != gen {
+				n.linkComp[l] = gen
+				comp = append(comp, l)
 			}
-			st.unfrozen++
-			flowsOn[l] = append(flowsOn[l], f)
 		}
 	}
-	sort.Slice(linkIDs, func(i, j int) bool { return linkIDs[i] < linkIDs[j] })
+	slices.Sort(comp)
+	n.compLinks = comp
+	n.solve(comp, unfrozen)
+}
+
+// solve assigns max-min fair rates to the flows on links by progressive
+// filling: repeatedly find the most-contended link, fix its flows at the
+// fair share, remove them, and continue. links must be in ascending id
+// order (deterministic tie-breaks) and closed under flow link-sharing;
+// unfrozen is the number of distinct flows on them.
+func (n *Network) solve(links []topology.LinkID, unfrozen int) {
+	for _, l := range links {
+		n.linkAlloc[l] = 0
+		n.linkUnfrozen[l] = int32(len(n.linkFlows[l]))
+	}
+	cand := append(n.candLinks[:0], links...)
+	n.candLinks = cand
 	for unfrozen > 0 {
 		// Find the bottleneck link: minimal fair share among links with
-		// unfrozen flows. Iterate in link-id order so tie-breaking (and
-		// therefore floating-point rounding) is deterministic.
+		// unfrozen flows, lowest id winning ties. Saturated links are
+		// compacted out in passing (order is preserved).
 		var bottleneck topology.LinkID = -1
 		best := math.Inf(1)
-		for _, l := range linkIDs {
-			st := states[l]
-			if st.unfrozen == 0 {
+		w := 0
+		for _, l := range cand {
+			if n.linkUnfrozen[l] == 0 {
 				continue
 			}
-			share := (n.linkCapB[l] - st.alloc) / float64(st.unfrozen)
+			cand[w] = l
+			w++
+			share := (n.linkCapB[l] - n.linkAlloc[l]) / float64(n.linkUnfrozen[l])
 			if share < best {
 				best = share
 				bottleneck = l
 			}
 		}
+		cand = cand[:w]
 		if bottleneck < 0 {
 			break
 		}
 		if best < 0 {
 			best = 0
 		}
-		for _, f := range flowsOn[bottleneck] {
-			if frozen[f.ID] {
+		for _, f := range n.linkFlows[bottleneck] {
+			if f.frozen {
 				continue
 			}
-			frozen[f.ID] = true
+			f.frozen = true
 			unfrozen--
 			f.rate = best
 			for _, l := range f.path {
-				st := states[l]
-				st.unfrozen--
-				st.alloc += best
+				n.linkUnfrozen[l]--
+				n.linkAlloc[l] += best
 			}
 		}
 	}
-	for l, st := range states {
-		n.linkRateB[l] = st.alloc
+	// Publish the new rates and maintain the active-link list.
+	for _, l := range links {
+		r := n.linkAlloc[l]
+		n.linkRateB[l] = r
+		pos := n.linkActivePos[l]
+		if r != 0 && pos < 0 {
+			n.linkActivePos[l] = int32(len(n.activeLinks))
+			n.activeLinks = append(n.activeLinks, l)
+		} else if r == 0 && pos >= 0 {
+			last := len(n.activeLinks) - 1
+			moved := n.activeLinks[last]
+			n.activeLinks[pos] = moved
+			n.linkActivePos[moved] = pos
+			n.activeLinks = n.activeLinks[:last]
+			n.linkActivePos[l] = -1
+		}
 	}
 }
 
@@ -376,13 +557,7 @@ func (n *Network) Cancel(f *Flow) {
 		return
 	}
 	n.advance()
-	last := len(n.active) - 1
-	i := f.idx
-	n.active[i] = n.active[last]
-	n.active[i].idx = i
-	n.active[last] = nil
-	n.active = n.active[:last]
-	f.idx = -1
+	n.retire(f)
 	f.Canceled = true
 	f.End = n.Now()
 	for _, o := range n.observers {
@@ -396,16 +571,40 @@ func (n *Network) Cancel(f *Flow) {
 
 // CancelWhere aborts every active flow matching pred and reports how many
 // were canceled. Used by the job manager to reap a killed job's transfers.
+// The batch advances accounting once up front, so reaping is
+// O(victims × path), not O(victims × links).
 func (n *Network) CancelWhere(pred func(*Flow) bool) int {
-	// Collect first: Cancel mutates n.active.
+	// Collect first: retiring mutates n.active.
 	var victims []*Flow
 	for _, f := range n.active {
 		if pred(f) {
 			victims = append(victims, f)
 		}
 	}
+	if len(victims) == 0 {
+		return 0
+	}
+	n.advance()
 	for _, f := range victims {
-		n.Cancel(f)
+		if !f.Active() { // a prior victim's callback may have canceled it
+			continue
+		}
+		n.retire(f)
+		f.Canceled = true
+		f.End = n.Now()
+		for _, o := range n.observers {
+			o.FlowEnded(f)
+		}
+		if f.done != nil {
+			f.done(f)
+		}
+		// Mark after every victim's callback, not once at the end: the
+		// recompute event must enter the queue before anything a LATER
+		// victim's callback schedules for the same instant, or the
+		// same-timestamp event order (and hence the whole closed-loop
+		// simulation) changes. Only the first call schedules; the rest
+		// are cheap no-ops.
+		n.markDirty()
 	}
 	return len(victims)
 }

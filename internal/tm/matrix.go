@@ -8,6 +8,7 @@ package tm
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -48,19 +49,33 @@ func (m *Matrix) At(src, dst int) float64 { return m.entries[m.key(src, dst)] }
 // NonZero reports the number of non-zero entries.
 func (m *Matrix) NonZero() int { return len(m.entries) }
 
+// sortedKeys returns the non-zero entry keys in row-major order. Map
+// iteration order is randomized per run, so any float accumulation over
+// entries must walk them in a fixed order to keep results reproducible
+// (same input → bit-identical sums).
+func (m *Matrix) sortedKeys() []int64 {
+	keys := make([]int64, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
 // Total reports the sum of all entries.
 func (m *Matrix) Total() float64 {
 	t := 0.0
-	for _, v := range m.entries {
-		t += v
+	for _, k := range m.sortedKeys() {
+		t += m.entries[k]
 	}
 	return t
 }
 
-// ForEach visits every non-zero entry in unspecified order.
+// ForEach visits every non-zero entry in row-major order. The fixed
+// order keeps accumulations over entries deterministic.
 func (m *Matrix) ForEach(fn func(src, dst int, bytes float64)) {
-	for k, v := range m.entries {
-		fn(int(k/int64(m.n)), int(k%int64(m.n)), v)
+	for _, k := range m.sortedKeys() {
+		fn(int(k/int64(m.n)), int(k%int64(m.n)), m.entries[k])
 	}
 }
 
@@ -136,14 +151,12 @@ func NormalizedChange(earlier, later *Matrix) float64 {
 		return 0
 	}
 	num := 0.0
-	seen := make(map[int64]bool, len(earlier.entries))
-	for k, v := range earlier.entries {
-		num += math.Abs(later.entries[k] - v)
-		seen[k] = true
+	for _, k := range earlier.sortedKeys() {
+		num += math.Abs(later.entries[k] - earlier.entries[k])
 	}
-	for k, v := range later.entries {
-		if !seen[k] {
-			num += v
+	for _, k := range later.sortedKeys() {
+		if _, ok := earlier.entries[k]; !ok {
+			num += later.entries[k]
 		}
 	}
 	return num / denom

@@ -334,6 +334,11 @@ func (t *Topology) RackServers(r RackID) []ServerID {
 	return out
 }
 
+// MaxPathLen is the longest path any (src, dst) pair can traverse: up a
+// server link, through the ToR and agg layers, and back down. Callers that
+// keep per-flow path state (netsim) size fixed buffers with it.
+const MaxPathLen = 6
+
 // Path returns the directed links traversed from src to dst, in order.
 // A nil path means the hosts are the same (loopback traffic stays on box).
 // On a multipath fabric the agg is chosen by a deterministic per-pair
@@ -350,46 +355,57 @@ func (t *Topology) PathK(src, dst ServerID, key uint64) []LinkID {
 	if src == dst {
 		return nil
 	}
+	return t.AppendPathK(nil, src, dst, key)
+}
+
+// AppendPathK appends the src→dst path to buf and returns it, letting
+// callers reuse per-flow buffers (at most MaxPathLen links are appended).
+// Loopback pairs append nothing. Semantics otherwise match PathK.
+func (t *Topology) AppendPathK(buf []LinkID, src, dst ServerID, key uint64) []LinkID {
+	if src == dst {
+		return buf
+	}
 	if !t.IsExternal(src) && !t.IsExternal(dst) {
 		rs, rd := t.Rack(src), t.Rack(dst)
 		if rs == rd {
-			return []LinkID{t.serverUp[src], t.serverDown[dst]}
+			return append(buf, t.serverUp[src], t.serverDown[dst])
 		}
 		if t.cfg.MultiPath {
 			a := int(key % uint64(t.cfg.AggSwitches))
-			return []LinkID{t.serverUp[src], t.torUpLink(rs, a), t.torDownLink(rd, a), t.serverDown[dst]}
+			return append(buf, t.serverUp[src], t.torUpLink(rs, a), t.torDownLink(rd, a), t.serverDown[dst])
 		}
 		if t.Agg(rs) == t.Agg(rd) {
-			return []LinkID{t.serverUp[src], t.torUp[rs], t.torDown[rd], t.serverDown[dst]}
+			return append(buf, t.serverUp[src], t.torUp[rs], t.torDown[rd], t.serverDown[dst])
 		}
 	}
-	return append(t.upPath(src, key), t.downPath(dst, key)...)
+	buf = t.appendUpPath(buf, src, key)
+	return t.appendDownPath(buf, dst, key)
 }
 
-// upPath is the full path from a host to the core router.
-func (t *Topology) upPath(s ServerID, key uint64) []LinkID {
+// appendUpPath appends the full path from a host to the core router.
+func (t *Topology) appendUpPath(buf []LinkID, s ServerID, key uint64) []LinkID {
 	if t.IsExternal(s) {
-		return []LinkID{t.extUp[t.externalIndex(s)]}
+		return append(buf, t.extUp[t.externalIndex(s)])
 	}
 	r := t.Rack(s)
 	a := t.Agg(r)
 	if t.cfg.MultiPath {
 		a = int(key % uint64(t.cfg.AggSwitches))
 	}
-	return []LinkID{t.serverUp[s], t.torUpLink(r, a), t.aggUp[a]}
+	return append(buf, t.serverUp[s], t.torUpLink(r, a), t.aggUp[a])
 }
 
-// downPath is the full path from the core router to a host.
-func (t *Topology) downPath(s ServerID, key uint64) []LinkID {
+// appendDownPath appends the full path from the core router to a host.
+func (t *Topology) appendDownPath(buf []LinkID, s ServerID, key uint64) []LinkID {
 	if t.IsExternal(s) {
-		return []LinkID{t.extDown[t.externalIndex(s)]}
+		return append(buf, t.extDown[t.externalIndex(s)])
 	}
 	r := t.Rack(s)
 	a := t.Agg(r)
 	if t.cfg.MultiPath {
 		a = int(key % uint64(t.cfg.AggSwitches))
 	}
-	return []LinkID{t.aggDown[a], t.torDownLink(r, a), t.serverDown[s]}
+	return append(buf, t.aggDown[a], t.torDownLink(r, a), t.serverDown[s])
 }
 
 // TorPath returns the inter-switch links traversed by traffic from rack i's

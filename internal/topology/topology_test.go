@@ -252,3 +252,39 @@ func TestLinkKindString(t *testing.T) {
 		t.Fatal("unknown kind should stringify to unknown")
 	}
 }
+
+// AppendPathK must match PathK exactly, append after existing contents,
+// and never exceed MaxPathLen links — the contract netsim's fixed
+// per-flow path buffers rely on.
+func TestAppendPathKMatchesPathK(t *testing.T) {
+	for _, multi := range []bool{false, true} {
+		cfg := SmallConfig()
+		cfg.MultiPath = multi
+		top := MustNew(cfg)
+		n := top.NumHosts()
+		f := func(a, b uint16, key uint64) bool {
+			src := ServerID(int(a) % n)
+			dst := ServerID(int(b) % n)
+			want := top.PathK(src, dst, key)
+			if len(want) > MaxPathLen {
+				return false
+			}
+			buf := make([]LinkID, 0, MaxPathLen)
+			got := top.AppendPathK(buf, src, dst, key)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			// Appending after a sentinel must preserve it.
+			pre := top.AppendPathK([]LinkID{-7}, src, dst, key)
+			return len(pre) == len(want)+1 && pre[0] == -7
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("multipath=%v: %v", multi, err)
+		}
+	}
+}
