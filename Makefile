@@ -2,19 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-snapshot figures day paper-day clean
+.PHONY: all build vet lint test test-short bench bench-snapshot figures day paper-day clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
+# vet also fails on formatting drift so CI catches it before review.
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
-# The default verify path: vet, the full suite, and the race detector
-# over the two packages that deliver observer callbacks.
-test: vet
+# The determinism multichecker (cmd/dctlint): mapiter, walltime,
+# globalrand, floatsum over every package. See DESIGN.md, "Determinism".
+lint:
+	$(GO) run ./cmd/dctlint ./...
+
+# The default verify path: vet, the determinism linter, the full suite,
+# and the race detector over the two packages that deliver observer
+# callbacks.
+test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/netsim ./internal/sched
 

@@ -1,0 +1,76 @@
+// Command dctlint runs dctraffic's determinism analyzers over the
+// module: a multichecker in the style of go vet -vettool, built on the
+// stdlib-only framework in internal/lint.
+//
+// The paper's results are reproducible only because a simulation run is
+// a pure function of its seed; dctlint mechanically enforces the
+// invariants behind that (no map-order-dependent sinks, no wall-clock
+// reads in sim packages, no global rand, no scheduler-ordered float
+// reductions). See DESIGN.md, "Determinism".
+//
+// Usage:
+//
+//	go run ./cmd/dctlint [-list] [packages]
+//
+// With no package patterns it checks ./... relative to the current
+// directory, which must be inside the module. Exit status is 1 when any
+// finding survives //dctlint:ignore suppression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dctraffic/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "dctlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dctlint:", err)
+	os.Exit(2)
+}

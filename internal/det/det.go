@@ -1,0 +1,26 @@
+// Package det holds small helpers for writing deterministic code over
+// Go's intentionally order-randomized maps. Every simulation output must
+// be a pure function of the seed (see DESIGN.md, "Determinism"); the
+// dctlint mapiter analyzer flags map iteration feeding order-sensitive
+// sinks, and iterating SortedKeys is the standard fix.
+package det
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order, giving map traversal a
+// fixed, run-independent order:
+//
+//	for _, k := range det.SortedKeys(m) {
+//		acc += m[k] // deterministic accumulation order
+//	}
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -1,0 +1,34 @@
+package det
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	if got := SortedKeys(m); !slices.Equal(got, []int{1, 2, 3}) {
+		t.Fatalf("SortedKeys = %v, want [1 2 3]", got)
+	}
+	type rack int // named key types must work through the ~map constraint
+	named := map[rack]float64{rack(9): 1, rack(4): 2}
+	if got := SortedKeys(named); !slices.Equal(got, []rack{4, 9}) {
+		t.Fatalf("SortedKeys = %v, want [4 9]", got)
+	}
+	if got := SortedKeys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysStableAcrossRuns(t *testing.T) {
+	m := make(map[uint64]int)
+	for i := 0; i < 1000; i++ {
+		m[uint64(i*2654435761)] = i
+	}
+	first := SortedKeys(m)
+	for i := 0; i < 10; i++ {
+		if !slices.Equal(SortedKeys(m), first) {
+			t.Fatal("SortedKeys order varied between calls")
+		}
+	}
+}

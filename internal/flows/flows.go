@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"dctraffic/internal/det"
 	"dctraffic/internal/netsim"
 	"dctraffic/internal/stats"
 	"dctraffic/internal/topology"
@@ -153,8 +154,11 @@ func ServerInterArrivals(records []trace.FlowRecord, top *topology.Topology) []f
 			add(r.Dst, r.Start)
 		}
 	}
+	// Pool per-server gap lists in server order so the slice (and every
+	// digest downstream of it) does not inherit map iteration order.
 	var out []float64
-	for _, starts := range perServer {
+	for _, s := range det.SortedKeys(perServer) {
+		starts := perServer[s]
 		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 		out = append(out, interArrivalsOf(starts)...)
 	}
@@ -175,8 +179,10 @@ func TorInterArrivals(records []trace.FlowRecord, top *topology.Topology) []floa
 			perTor[rd] = append(perTor[rd], r.Start)
 		}
 	}
+	// Same fixed pooling order as ServerInterArrivals, per ToR.
 	var out []float64
-	for _, starts := range perTor {
+	for _, tor := range det.SortedKeys(perTor) {
+		starts := perTor[tor]
 		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 		out = append(out, interArrivalsOf(starts)...)
 	}

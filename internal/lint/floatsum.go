@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum flags floating-point reductions whose accumulation order is
+// scheduler-dependent:
+//
+//   - a += / -= / *= / /= (or ++/--) on a float variable captured from
+//     outside a goroutine body: even when a mutex makes the update
+//     race-free, the *order* of the additions follows the scheduler,
+//     and float addition does not commute in rounding;
+//   - float accumulation inside `for range ch` over a channel of
+//     floats: with more than one sender the receive order, and so the
+//     sum, is scheduler-dependent.
+//
+// The deterministic pattern is per-worker partial sums combined in a
+// fixed order after the goroutines join.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "floating-point reduction in scheduler-dependent order (goroutine-shared accumulator or channel-fed sum)",
+	Run:  runFloatSum,
+}
+
+func runFloatSum(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineBody(pass, lit)
+				}
+			case *ast.RangeStmt:
+				checkChannelReduce(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineBody reports float accumulation into variables captured
+// from outside the goroutine's function literal.
+func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var target ast.Expr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				target = s.Lhs[0]
+			}
+		case *ast.IncDecStmt:
+			target = s.X
+		case *ast.FuncLit:
+			// A nested literal has its own capture boundary for locals,
+			// but anything outside *this* literal is still shared, so
+			// keep descending: declaredWithin uses lit's range.
+			return true
+		}
+		if target == nil || !isFloat(pass.Info.TypeOf(target)) {
+			return true
+		}
+		// Indexed targets (partial[i] += v) are the per-goroutine-slot
+		// fix this analyzer recommends: each goroutine owns its slot and
+		// the slots are combined in a fixed order after the join.
+		if _, indexed := ast.Unparen(target).(*ast.IndexExpr); indexed {
+			return true
+		}
+		obj := baseObject(pass.Info, target)
+		if obj == nil || declaredWithin(obj, lit) {
+			return true
+		}
+		pass.Reportf(n.Pos(), "floating-point accumulation into captured %s inside a goroutine: reduction order follows the scheduler; keep per-goroutine partials and combine them in a fixed order", obj.Name())
+		return true
+	})
+}
+
+// checkChannelReduce reports float accumulation driven by receives from
+// a float channel.
+func checkChannelReduce(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || !isFloat(ch.Elem()) {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		if !isFloat(pass.Info.TypeOf(as.Lhs[0])) {
+			return true
+		}
+		pass.Reportf(as.Pos(), "floating-point reduction over channel %s: receive order is scheduler-dependent with concurrent senders; collect values and sum in a fixed order", exprString(rs.X))
+		return true
+	})
+}

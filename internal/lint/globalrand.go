@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// GlobalRand forbids the process-global math/rand source. Top-level
+// draws (rand.IntN, rand.Float64, rand.Shuffle, ...) share one stream
+// across the whole process — auto-seeded since Go 1.20 — so any use
+// makes results irreproducible and couples independent components
+// through a hidden channel. All randomness must flow through an
+// injected deterministic stream: internal/stats.RNG (or an explicit
+// *rand.Rand built with rand.New + a seeded source, which is why the
+// constructors New, NewSource, NewPCG, NewChaCha8, and NewZipf stay
+// allowed).
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "top-level math/rand call draws from the shared auto-seeded source; inject a *stats.RNG instead",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package-level functions that do
+// not touch the global source.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	// Flag every use — calls, and also references like passing
+	// rand.Float64 as a value, which smuggle the global stream just as
+	// effectively. Uses is a map; order the report sites before
+	// emitting so output stays deterministic.
+	type site struct {
+		id *ast.Ident
+		fn *types.Func
+	}
+	var sites []site
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods on an explicit *rand.Rand are the fix, not the bug
+		}
+		if globalRandAllowed[fn.Name()] {
+			continue
+		}
+		sites = append(sites, site{id, fn})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].id.Pos() < sites[j].id.Pos() })
+	for _, s := range sites {
+		pass.Reportf(s.id.Pos(), "%s.%s uses the process-global rand source: draw from an injected *stats.RNG (or a seeded *rand.Rand) instead", s.fn.Pkg().Name(), s.fn.Name())
+	}
+	return nil
+}

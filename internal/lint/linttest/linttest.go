@@ -1,0 +1,135 @@
+// Package linttest is dctlint's analysistest analogue: it runs one
+// analyzer over a testdata package and checks its diagnostics against
+// `// want "regexp"` comments placed on the lines expected to be
+// flagged. Lines without a want comment must stay clean, so every
+// testdata file doubles as a corpus of negative cases.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"dctraffic/internal/lint"
+)
+
+// wantRE extracts the quoted patterns of a want comment.
+var wantRE = regexp.MustCompile(`// want(?: "((?:[^"\\]|\\.)*)")+`)
+
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	met     bool
+}
+
+// Run type-checks the Go files under dir as one package, applies the
+// analyzer (suppression directives included, exactly as the driver
+// does), and reports any mismatch between diagnostics and want
+// comments as test failures.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The driver's AppliesTo gate keys off real import paths; testdata
+	// paths are synthetic, so the harness always runs the analyzer.
+	ungated := *a
+	ungated.AppliesTo = nil
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{&ungated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := collectWants(t, pkg)
+	for _, d := range diags {
+		if !claim(expect, d) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expect {
+		if !e.met {
+			t.Errorf("%s:%d: no diagnostic matched %q", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+func loadDir(dir string) (*lint.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	path := "testdata/" + filepath.Base(dir)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{Path: path, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindString(c.Text)
+				if m == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m, -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, q[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func claim(expect []*expectation, d lint.Diagnostic) bool {
+	for _, e := range expect {
+		if !e.met && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.pattern.MatchString(d.Message) {
+			e.met = true
+			return true
+		}
+	}
+	return false
+}

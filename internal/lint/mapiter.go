@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `for range` loops over maps whose bodies feed an
+// order-sensitive sink. Go randomizes map iteration order per run, so
+// anything order-sensitive reached from such a loop makes the simulation
+// a function of the seed *and* the map hash — breaking bit-for-bit
+// reproducibility. The sinks recognized:
+//
+//   - a draw from a deterministic RNG stream (*stats.RNG, *rand.Rand)
+//     created outside the loop: the draw sequence then depends on map
+//     order;
+//   - floating-point accumulation (+=, -=, *=, /=, ++, --) into a
+//     variable that outlives the loop: float addition does not commute
+//     in rounding, so the sum's low bits depend on visit order;
+//   - event-queue or allocator mutation (methods named Schedule, After,
+//     Push, Enqueue on a receiver declared outside the loop): events
+//     scheduled for the same instant fire in insertion order;
+//   - appends to a slice that outlives the loop and is not sorted
+//     afterwards in the same function: the slice's order leaks map
+//     order to every downstream consumer.
+//
+// The fix is almost always the same: materialize the keys, sort them
+// (see internal/det.SortedKeys), and range over the sorted slice.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "map iteration feeding an order-sensitive sink (RNG draws, float accumulation, event scheduling, unsorted appends)",
+	Run:  runMapIter,
+}
+
+// queueMethods are method names treated as event-queue/allocator
+// mutation sinks when invoked on a receiver declared outside the loop.
+var queueMethods = map[string]bool{
+	"Schedule": true,
+	"After":    true,
+	"Push":     true,
+	"Enqueue":  true,
+}
+
+func runMapIter(pass *Pass) error {
+	// A sink nested under two map ranges must be reported once.
+	reported := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.Info, rs) {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFunc(stack), reported)
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fn ast.Node, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, fn, s, report)
+		case *ast.IncDecStmt:
+			if isFloat(pass.Info.TypeOf(s.X)) && outlivesLoop(pass.Info, s.X, rs) {
+				report(s.Pos(), "floating-point accumulation into %s inside map iteration: sum depends on map order; iterate sorted keys", exprString(s.X))
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rs, s, report)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, fn ast.Node, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if isFloat(pass.Info.TypeOf(lhs)) && outlivesLoop(pass.Info, lhs, rs) {
+			report(as.Pos(), "floating-point accumulation into %s inside map iteration: sum depends on map order; iterate sorted keys", exprString(lhs))
+		}
+	case token.ASSIGN:
+		// x = append(x, ...) growing a slice that outlives the loop.
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.Info, call) {
+			return
+		}
+		obj := baseObject(pass.Info, as.Lhs[0])
+		if obj == nil || declaredWithin(obj, rs) {
+			return
+		}
+		if sortedAfter(pass.Info, fn, rs, obj) {
+			return
+		}
+		report(as.Pos(), "append to %s inside map iteration leaks map order to its consumers: sort the slice afterwards or iterate sorted keys", obj.Name())
+	}
+}
+
+func checkMapRangeCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	name, recv := methodCall(pass.Info, call)
+	if recv == nil {
+		return
+	}
+	// Draws from a stream created outside the loop consume randomness
+	// in map order; a per-key stream (forked inside the loop) is fine.
+	if isRNGType(pass.Info.TypeOf(recv)) && outlivesLoop(pass.Info, recv, rs) {
+		report(call.Pos(), "RNG draw %s.%s inside map iteration: the draw sequence depends on map order; iterate sorted keys or fork a per-key stream", exprString(recv), name)
+		return
+	}
+	if queueMethods[name] && outlivesLoop(pass.Info, recv, rs) {
+		report(call.Pos(), "%s.%s inside map iteration mutates an order-sensitive structure: same-instant events fire in insertion order; iterate sorted keys", exprString(recv), name)
+	}
+}
+
+// outlivesLoop reports whether e's root variable is declared outside the
+// whole range statement (including its key/value vars). Accumulation
+// into such a variable survives iterations, so visit order matters.
+// Unresolvable roots (function-call results) are treated as loop-local.
+func outlivesLoop(info *types.Info, e ast.Expr, rs *ast.RangeStmt) bool {
+	obj := baseObject(info, e)
+	return obj != nil && !declaredWithin(obj, rs)
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether, in the statements of fn after the range
+// loop, obj is passed to a sorting call (sort.*, slices.*, or any
+// callee whose name contains "Sort"). When it is, the map-order append
+// is laundered before anyone can observe it.
+func sortedAfter(info *types.Info, fn ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if strings.Contains(fun.Sel.Name, "Sort") {
+			return true
+		}
+		if pn, ok := info.ObjectOf(selRootIdent(fun)).(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			return p == "sort" || p == "slices"
+		}
+	case *ast.Ident:
+		return strings.Contains(fun.Name, "Sort")
+	}
+	return false
+}
+
+func selRootIdent(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return id
+	}
+	return sel.Sel
+}
+
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short lvalue/receiver for diagnostics; it only
+// needs to handle the shapes baseObject accepts.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//dctlint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// analyzer name must match the diagnostic's analyzer, and a reason is
+// mandatory — an unexplained suppression is itself reported.
+const ignorePrefix = "//dctlint:ignore"
+
+// RunPackage runs the analyzers over one loaded package, filters
+// suppressed findings, and returns the remainder sorted by position.
+// Malformed //dctlint:ignore directives are reported as diagnostics
+// attributed to the pseudo-analyzer "dctlint". An analyzer's AppliesTo
+// gate is honoured here so the driver and tests see identical behaviour.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	directives, diags := collectDirectives(pkg, analyzers)
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+		}
+		name := a.Name
+		pass.report = func(pos token.Pos, msg string) {
+			p := pkg.Fset.Position(pos)
+			if directives.suppressed(name, p) {
+				return
+			}
+			diags = append(diags, Diagnostic{Pos: p, Analyzer: name, Message: msg})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// directiveKey locates one suppression: a file, a line, and the analyzer
+// it silences.
+type directiveKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type directiveSet map[directiveKey]bool
+
+// suppressed reports whether a diagnostic from analyzer at p is covered
+// by a directive on the same line or the line above.
+func (d directiveSet) suppressed(analyzer string, p token.Position) bool {
+	return d[directiveKey{p.Filename, p.Line, analyzer}] ||
+		d[directiveKey{p.Filename, p.Line - 1, analyzer}]
+}
+
+// collectDirectives scans every comment in the package for
+// //dctlint:ignore directives. Malformed directives (unknown analyzer,
+// missing reason) come back as diagnostics so they fail the build
+// instead of silently suppressing nothing.
+func collectDirectives(pkg *Package, analyzers []*Analyzer) (directiveSet, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	set := make(directiveSet)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0 || !known[fields[0]]:
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "dctlint",
+						Message:  fmt.Sprintf("malformed directive: want %s <analyzer> <reason> with a known analyzer", ignorePrefix),
+					})
+				case len(fields) < 2:
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "dctlint",
+						Message:  fmt.Sprintf("suppression of %s needs a reason: %s %s <reason>", fields[0], ignorePrefix, fields[0]),
+					})
+				default:
+					set[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return set, diags
+}

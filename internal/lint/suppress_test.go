@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one import-free source file and runs the
+// suite over it.
+func checkSource(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := new(types.Config).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, Info: info}
+	diags, err := RunPackage(pkg, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const accumSrc = `package p
+
+func accum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		%s
+		total += v
+	}
+	return total
+}
+`
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	bare := strings.ReplaceAll(accumSrc, "%s\n\t\t", "")
+	if diags := checkSource(t, bare); len(diags) != 1 {
+		t.Fatalf("control case: want 1 diagnostic, got %v", diags)
+	}
+	suppressed := strings.Replace(accumSrc, "%s",
+		"//dctlint:ignore mapiter order-insensitive threshold check", 1)
+	if diags := checkSource(t, suppressed); len(diags) != 0 {
+		t.Fatalf("suppressed case: want 0 diagnostics, got %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	src := strings.Replace(accumSrc, "%s",
+		"//dctlint:ignore walltime not the analyzer that fires here", 1)
+	diags := checkSource(t, src)
+	if len(diags) != 1 || diags[0].Analyzer != "mapiter" {
+		t.Fatalf("want the mapiter diagnostic to survive, got %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	src := strings.Replace(accumSrc, "%s", "//dctlint:ignore mapiter", 1)
+	diags := checkSource(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("want the finding plus a malformed-directive report, got %v", diags)
+	}
+	var sawMalformed, sawFinding bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "dctlint":
+			sawMalformed = strings.Contains(d.Message, "needs a reason")
+		case "mapiter":
+			sawFinding = true
+		}
+	}
+	if !sawMalformed || !sawFinding {
+		t.Fatalf("want reasonless directive reported and finding kept, got %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveUnknownAnalyzer(t *testing.T) {
+	src := strings.Replace(accumSrc, "%s", "//dctlint:ignore nosuchcheck because", 1)
+	diags := checkSource(t, src)
+	var sawMalformed bool
+	for _, d := range diags {
+		if d.Analyzer == "dctlint" && strings.Contains(d.Message, "malformed directive") {
+			sawMalformed = true
+		}
+	}
+	if !sawMalformed {
+		t.Fatalf("want unknown analyzer reported as malformed, got %v", diags)
+	}
+}

@@ -1,0 +1,101 @@
+// Test corpus for the floatsum analyzer: scheduler-ordered float
+// reductions are flagged; per-goroutine partials combined in a fixed
+// order are the fix and stay clean.
+package floatsum
+
+import "sync"
+
+func sharedAccumulator(parts [][]float64) float64 {
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		total float64
+	)
+	for _, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range p {
+				mu.Lock()
+				total += v // want "floating-point accumulation into captured total"
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func countAccumulatorOK(parts [][]float64) int {
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+		n  int
+	)
+	for _, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			n += len(p) // integer addition commutes exactly: not flagged
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+func partialSumsOK(parts [][]float64) float64 {
+	partial := make([]float64, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range p {
+				partial[i] += v // per-goroutine slot, combined in fixed order below
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}
+
+func goroutineLocalOK(ps []float64, out chan<- float64) {
+	go func() {
+		sum := 0.0 // declared inside the goroutine: not shared
+		for _, v := range ps {
+			sum += v
+		}
+		out <- sum
+	}()
+}
+
+func channelReduce(ch chan float64) float64 {
+	total := 0.0
+	for v := range ch {
+		total += v // want "floating-point reduction over channel ch"
+	}
+	return total
+}
+
+func channelCollectOK(ch chan float64) []float64 {
+	var out []float64
+	for v := range ch {
+		out = append(out, v) // collected, to be sorted/summed in fixed order by the caller
+	}
+	return out
+}
+
+func suppressedOK(ch chan float64) float64 {
+	total := 0.0
+	for v := range ch {
+		//dctlint:ignore floatsum single producer feeds this channel in a deterministic order
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,36 @@
+// Test corpus for the globalrand analyzer: package-level math/rand
+// draws (v1 and v2) are flagged; explicitly seeded streams are the fix
+// and stay clean.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func draws() int {
+	n := rand.Intn(10)                 // want "rand.Intn uses the process-global rand source"
+	f := rand.Float64()                // want "rand.Float64 uses the process-global rand source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle uses the process-global rand source"
+	g := randv2.IntN(10)               // want "rand.IntN uses the process-global rand source"
+	return n + g + int(f)
+}
+
+func passedAsValue() func() float64 {
+	return rand.Float64 // want "rand.Float64 uses the process-global rand source"
+}
+
+func seededOK(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func seededV2OK(a, b uint64) float64 {
+	r := randv2.New(randv2.NewPCG(a, b))
+	return r.Float64()
+}
+
+func suppressedOK() int {
+	//dctlint:ignore globalrand demo shim outside any simulation path
+	return rand.Int()
+}

@@ -1,0 +1,146 @@
+// Test corpus for the mapiter analyzer: map-range loops feeding
+// order-sensitive sinks are flagged; order-insensitive bodies and
+// sorted-key iteration stay clean.
+package mapiter
+
+import (
+	"math/rand"
+	"sort"
+)
+
+type sim struct{ now int }
+
+func (s *sim) Schedule(at int, fn func()) {}
+func (s *sim) Capacity() int              { return s.now }
+
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+func floatIncDec(m map[string]bool, weights map[string]float64) float64 {
+	x := 0.0
+	for k := range m {
+		if weights[k] > 0 {
+			x++ // want "floating-point accumulation into x"
+		}
+	}
+	return x
+}
+
+func intAccumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition commutes exactly: not flagged
+	}
+	return total
+}
+
+func loopLocalOK(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, vs := range m {
+		sum := 0.0 // per-key accumulator dies each iteration: not flagged
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func nestedShared(outer map[int]map[int]float64, shared []float64) {
+	for _, inner := range outer {
+		for i, v := range inner {
+			shared[i] += v // want "floating-point accumulation into shared"
+		}
+	}
+}
+
+func rngDraw(m map[int]bool, r *rand.Rand) int {
+	n := 0
+	for range m {
+		n ^= r.Intn(10) // want "RNG draw r.Intn inside map iteration"
+	}
+	return n
+}
+
+func perKeyStreamOK(m map[int]bool) int {
+	n := 0
+	for k := range m {
+		r := rand.New(rand.NewSource(int64(k))) // per-key stream: draws don't depend on visit order
+		n ^= r.Intn(10)
+	}
+	return n
+}
+
+func scheduleInLoop(m map[int]int, s *sim) {
+	for k, v := range m {
+		s.Schedule(k+v, func() {}) // want "s.Schedule inside map iteration"
+	}
+}
+
+func readOnlyMethodOK(m map[int]int, s *sim) int {
+	n := 0
+	for range m {
+		n += s.Capacity()
+	}
+	return n
+}
+
+func unsortedAppend(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+func appendSortedOK(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // sorted below before anyone sees it
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func sortedKeysOK(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys { // slice range, fixed order: accumulate freely
+		total += m[k]
+	}
+	return total
+}
+
+func mapWriteOK(src map[string]int) map[string]int {
+	dst := make(map[string]int)
+	for k, v := range src {
+		dst[k] = v // distinct keys: order-insensitive
+	}
+	return dst
+}
+
+func suppressedAboveOK(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//dctlint:ignore mapiter sum feeds an order-insensitive threshold check only
+		total += v
+	}
+	return total
+}
+
+func suppressedSameLineOK(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //dctlint:ignore mapiter sum feeds an order-insensitive threshold check only
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Test corpus for the walltime analyzer: observing or waiting on the
+// host clock is flagged; pure time.Duration arithmetic is not.
+package walltime
+
+import "time"
+
+const tick = 10 * time.Millisecond // durations are just numbers: not flagged
+
+func now() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock time.Since"
+}
+
+func wait() {
+	time.Sleep(tick) // want "wall-clock time.Sleep"
+}
+
+func timer() {
+	t := time.NewTimer(tick) // want "wall-clock time.NewTimer"
+	<-t.C
+}
+
+func poll() <-chan time.Time {
+	return time.After(tick) // want "wall-clock time.After"
+}
+
+func durationMathOK(d time.Duration) float64 {
+	return d.Seconds() * 2
+}
+
+func suppressedOK() int64 {
+	//dctlint:ignore walltime log prefix only, never fed back into the simulation
+	return time.Now().Unix()
+}

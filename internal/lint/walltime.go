@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallTime forbids reading or waiting on the wall clock inside the
+// simulation packages. The simulator is a discrete-event machine: all
+// timing flows from netsim.Time advanced by the event loop, so a run is
+// a pure function of its seed. A single time.Now or time.Sleep couples
+// results to the host machine and destroys reproducibility. Wall-clock
+// use is fine in cmd/ (progress reporting) and in _test.go files
+// (which this analyzer skips).
+var WallTime = &Analyzer{
+	Name:      "walltime",
+	Doc:       "wall-clock call in a simulation package; use simulated time",
+	AppliesTo: func(pkgPath string) bool { return strings.Contains(pkgPath, "internal/") },
+	Run:       runWallTime,
+}
+
+// wallClockFuncs are the package time functions that observe or wait on
+// the host clock. Durations and constants (time.Second, time.Duration
+// arithmetic) stay allowed: they are just numbers.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallTime(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.ObjectOf(id).(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation package %s: results must be a pure function of the seed; use simulated netsim.Time", sel.Sel.Name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"dctraffic/internal/det"
 	"dctraffic/internal/eventlog"
 	"dctraffic/internal/linalg"
 	"dctraffic/internal/netsim"
@@ -263,13 +264,18 @@ func JobMultiplier(log *eventlog.Log, top *topology.Topology, from, to netsim.Ti
 	r := top.NumRacks()
 	shared := make([]float64, r*r)
 	maxShared := 0.0
-	for _, byRack := range instances {
-		for i, ci := range byRack {
-			for j, cj := range byRack {
+	// shared accumulates floats, so jobs and racks must be visited in a
+	// fixed order: map order would perturb the sums' low bits run to run.
+	for _, job := range det.SortedKeys(instances) {
+		byRack := instances[job]
+		racks := det.SortedKeys(byRack)
+		for _, i := range racks {
+			ci := byRack[i]
+			for _, j := range racks {
 				if i == j {
 					continue
 				}
-				shared[i*r+j] += ci * cj
+				shared[i*r+j] += ci * byRack[j]
 				if shared[i*r+j] > maxShared {
 					maxShared = shared[i*r+j]
 				}
@@ -330,15 +336,18 @@ func RoleAwareMultiplier(log *eventlog.Log, top *topology.Topology, from, to net
 	r := top.NumRacks()
 	shared := make([]float64, r*r)
 	maxShared := 0.0
-	for job, byPhase := range counts {
+	// Same fixed-order discipline as JobMultiplier: these are float sums.
+	for _, job := range det.SortedKeys(counts) {
+		byPhase := counts[job]
 		for ph := 0; ph < maxPhase[job]; ph++ {
 			up, down := byPhase[ph], byPhase[ph+1]
-			for i, ci := range up {
-				for j, cj := range down {
+			for _, i := range det.SortedKeys(up) {
+				ci := up[i]
+				for _, j := range det.SortedKeys(down) {
 					if i == j {
 						continue
 					}
-					shared[i*r+j] += ci * cj
+					shared[i*r+j] += ci * down[j]
 					if shared[i*r+j] > maxShared {
 						maxShared = shared[i*r+j]
 					}
