@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short bench bench-snapshot figures day paper-day clean
+.PHONY: all build vet lint test test-short smoke-metrics bench bench-snapshot figures day paper-day clean
 
 all: build vet lint test
 
@@ -32,6 +32,15 @@ test: vet lint
 test-short:
 	$(GO) test -short ./...
 
+# End-to-end observability smoke test: a short SmallRun-shaped dcsim
+# with -progress and -metrics, then dcmetrics asserts the snapshot
+# parses and contains every subsystem's series. CI uploads the snapshot
+# as an artifact.
+smoke-metrics:
+	$(GO) run ./cmd/dcsim -duration 30m -drain 10m -progress \
+		-metrics smoke-metrics.json -out /dev/null
+	$(GO) run ./cmd/dcmetrics -require netsim.,cosmos.,scope.,trace.,runtime. smoke-metrics.json
+
 # One benchmark per paper table/figure plus ablations, and the
 # per-package infrastructure benchmarks (simulator, TM, trace, solver).
 bench:
@@ -55,4 +64,4 @@ paper-day:
 	$(GO) run ./cmd/dcanalyze -paper -tsv figures-paper
 
 clean:
-	rm -rf figures figures-day figures-paper trace.jsonl
+	rm -rf figures figures-day figures-paper trace.jsonl smoke-metrics.json

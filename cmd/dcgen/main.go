@@ -31,7 +31,9 @@ func main() {
 	correlated := flag.Bool("correlated", false, "windows share conversations (Figure 10-style churn) instead of being independent")
 	flag.Parse()
 
-	p := dctraffic.PaperModel(*racks, *servers, *externals)
+	p := dctraffic.PaperModelFor(dctraffic.ClusterShape{
+		Racks: *racks, ServersPerRack: *servers, ExternalHosts: *externals,
+	})
 	rng := dctraffic.NewRNG(*seed)
 	topoCfg := topology.SmallConfig()
 	topoCfg.Racks = *racks

@@ -1,0 +1,68 @@
+// Command dcmetrics validates and summarizes a metrics snapshot written
+// by `dcsim -metrics` (or any WithMetricsSink consumer). It exits
+// nonzero if the file does not parse or a required series prefix is
+// missing, which makes it the assertion half of `make smoke-metrics`.
+//
+// Usage:
+//
+//	dcmetrics -require netsim.,cosmos.,scope.,trace. snapshot.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dctraffic"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated series-name prefixes that must be present")
+	quiet := flag.Bool("q", false, "suppress the summary; validate only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dcmetrics [-require prefixes] [-q] snapshot.json")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcmetrics:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	snap, err := dctraffic.ReadMetrics(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcmetrics:", err)
+		os.Exit(1)
+	}
+
+	if *require != "" {
+		var prefixes []string
+		for _, p := range strings.Split(*require, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				prefixes = append(prefixes, p)
+			}
+		}
+		if err := snap.Require(prefixes...); err != nil {
+			fmt.Fprintln(os.Stderr, "dcmetrics:", err)
+			os.Exit(1)
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("%d series, %d phases\n", len(snap.Series), len(snap.Phases))
+		for _, s := range snap.Series {
+			switch s.Kind {
+			case "histogram":
+				fmt.Printf("  %-40s histogram n=%d sum=%g\n", s.Name, s.Count, s.Sum)
+			default:
+				fmt.Printf("  %-40s %s %g\n", s.Name, s.Kind, s.Value)
+			}
+		}
+		for _, ph := range snap.Phases {
+			fmt.Printf("  phase %-10s %.3fs\n", ph.Name, ph.Seconds)
+		}
+	}
+}

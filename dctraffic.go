@@ -9,22 +9,31 @@
 //
 // Quick start:
 //
-//	rr, err := dctraffic.Simulate(dctraffic.SmallRun())
+//	rr, err := dctraffic.Run(ctx, dctraffic.SmallRun(),
+//		dctraffic.WithProgress(func(p dctraffic.Progress) { ... }))
 //	if err != nil { ... }
 //	report := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
 //	fmt.Println(report.Text())
 //
+// Run is context-aware (cancellation is honored at event-loop batch
+// boundaries) and observable: RunResult.Metrics carries the final
+// snapshot of every netsim/cosmos/scope/trace series plus wall-clock
+// phase timings, and WithProgress / WithMetricsSink / WithObserver tune
+// what is reported where. Simulate is the options-free shorthand.
+//
 // The Report contains one field per figure in the paper; EXPERIMENTS.md
 // records paper-vs-measured values. For standalone synthetic traffic
-// generation (no cluster simulation), use PaperModel / FitModel.
+// generation (no cluster simulation), use PaperModelFor / FitModel.
 package dctraffic
 
 import (
+	"context"
 	"io"
 
 	"dctraffic/internal/core"
 	"dctraffic/internal/model"
 	"dctraffic/internal/netsim"
+	"dctraffic/internal/obs"
 	"dctraffic/internal/stats"
 	"dctraffic/internal/tm"
 	"dctraffic/internal/topology"
@@ -43,8 +52,23 @@ type (
 	// Report holds regenerated data for every figure of the paper.
 	Report = core.Report
 
+	// RunOption configures Run (see WithProgress, WithMetricsSink,
+	// WithObserver, WithProgressInterval).
+	RunOption = core.RunOption
+	// Progress is one run-loop progress report.
+	Progress = core.Progress
+	// Registry is the observability layer's metrics registry.
+	Registry = obs.Registry
+	// MetricsSnapshot is the exported state of a Registry.
+	MetricsSnapshot = obs.Snapshot
+
 	// FlowRecord is the socket-level log's view of one flow.
 	FlowRecord = trace.FlowRecord
+	// TraceWriter streams flow records to a writer one JSON line at a
+	// time.
+	TraceWriter = trace.Writer
+	// TraceReader streams flow records from a JSONL trace.
+	TraceReader = trace.Reader
 	// Matrix is a sparse traffic matrix.
 	Matrix = tm.Matrix
 	// ModelParams is the §4.1 empirical traffic model.
@@ -55,6 +79,8 @@ type (
 	FlowShape = model.FlowShape
 	// TopologyConfig parameterizes the cluster fabric.
 	TopologyConfig = topology.Config
+	// ClusterShape names the dimensions of a simulated cluster.
+	ClusterShape = model.ClusterShape
 	// Time is simulation time (an offset from run start).
 	Time = netsim.Time
 	// RNG is a deterministic random stream.
@@ -65,12 +91,49 @@ type (
 func SmallRun() RunConfig { return core.SmallRun() }
 
 // PaperRun returns the paper-scale configuration (1500 servers, 24 h).
-// Expect minutes of wall-clock time and a few GB of memory.
+// Expect wall-clock seconds to minutes depending on the machine and
+// roughly 1.5 GB of memory (measured: 1.24 GB peak heap, 1.56 GB from
+// the OS — see EXPERIMENTS.md "Runtime").
 func PaperRun() RunConfig { return core.PaperRun() }
 
+// Run builds the cluster and runs the workload under socket-level
+// instrumentation. It honors ctx cancellation at event-loop batch
+// boundaries and collects an observability snapshot into
+// RunResult.Metrics; see WithProgress, WithMetricsSink and WithObserver.
+// Attaching or detaching observability never changes simulation
+// results: same seed, same trace, bit for bit.
+func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, error) {
+	return core.Run(ctx, cfg, opts...)
+}
+
 // Simulate builds the cluster and runs the workload under socket-level
-// instrumentation.
+// instrumentation. It is shorthand for Run with a background context and
+// default options.
 func Simulate(cfg RunConfig) (*RunResult, error) { return core.Simulate(cfg) }
+
+// WithProgress delivers a Progress report at every simulated-time batch
+// boundary (default every simulated minute).
+func WithProgress(fn func(Progress)) RunOption { return core.WithProgress(fn) }
+
+// WithProgressInterval sets the simulated-time batch length used for
+// progress reports, runtime samples and cancellation checks. It never
+// affects simulation results.
+func WithProgressInterval(d Time) RunOption { return core.WithProgressInterval(d) }
+
+// WithMetricsSink writes the final metrics snapshot as JSON to w when
+// the run completes.
+func WithMetricsSink(w io.Writer) RunOption { return core.WithMetricsSink(w) }
+
+// WithObserver uses the caller's registry for the run's metrics; nil
+// disables metrics collection entirely.
+func WithObserver(reg *Registry) RunOption { return core.WithObserver(reg) }
+
+// NewRegistry returns an empty metrics registry for WithObserver.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ReadMetrics parses a JSON metrics snapshot (the WithMetricsSink /
+// `dcsim -metrics` format).
+func ReadMetrics(r io.Reader) (*MetricsSnapshot, error) { return obs.ReadSnapshot(r) }
 
 // Analyze regenerates every figure of the paper from a run.
 func Analyze(rr *RunResult, opts AnalyzeOptions) *Report { return core.Analyze(rr, opts) }
@@ -79,10 +142,22 @@ func Analyze(rr *RunResult, opts AnalyzeOptions) *Report { return core.Analyze(r
 // rendition of Figure 2.
 func HeatASCII(m *Matrix, width int) string { return core.HeatASCII(m, width) }
 
-// PaperModel returns the §4.1 generative traffic model with parameters
-// tuned to the paper's reported statistics at the given cluster shape.
+// PaperModelFor returns the §4.1 generative traffic model with
+// parameters tuned to the paper's reported statistics at the given
+// cluster shape.
+func PaperModelFor(shape ClusterShape) ModelParams {
+	return model.PaperDefaultsFor(shape)
+}
+
+// PaperModel returns the §4.1 generative traffic model at the given
+// cluster shape.
+//
+// Deprecated: the positional ints are easy to transpose; use
+// PaperModelFor with a ClusterShape instead.
 func PaperModel(racks, serversPerRack, externalHosts int) ModelParams {
-	return model.PaperDefaults(racks, serversPerRack, externalHosts)
+	return model.PaperDefaultsFor(model.ClusterShape{
+		Racks: racks, ServersPerRack: serversPerRack, ExternalHosts: externalHosts,
+	})
 }
 
 // FitModel estimates model parameters from a measured server-level TM.
@@ -103,6 +178,14 @@ func WriteTrace(w io.Writer, records []FlowRecord) error {
 
 // ReadTrace parses a JSONL flow-record stream.
 func ReadTrace(r io.Reader) ([]FlowRecord, error) { return trace.ReadJSONL(r) }
+
+// NewTraceWriter returns a streaming trace writer: one JSON line per
+// Write, no full-trace buffering. Call Flush when done.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// NewTraceReader returns a streaming trace reader; Read returns io.EOF
+// at end of stream.
+func NewTraceReader(r io.Reader) *TraceReader { return trace.NewReader(r) }
 
 // ServerMatrix aggregates flow records into one host-level TM over
 // [from, to).

@@ -24,7 +24,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadeModel(t *testing.T) {
-	p := PaperModel(8, 10, 4)
+	p := PaperModelFor(ClusterShape{Racks: 8, ServersPerRack: 10, ExternalHosts: 4})
+	if got := PaperModel(8, 10, 4); got.Window != p.Window {
+		t.Fatal("deprecated PaperModel disagrees with PaperModelFor")
+	}
 	rng := NewRNG(1)
 	m := p.GenerateTM(rng)
 	if m.Total() <= 0 {

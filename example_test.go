@@ -28,8 +28,10 @@ func Example() {
 
 // Generate synthetic datacenter traffic with the §4.1 empirical model —
 // no cluster simulation needed.
-func ExamplePaperModel() {
-	params := dctraffic.PaperModel(75, 20, 30) // the paper's cluster shape
+func ExamplePaperModelFor() {
+	params := dctraffic.PaperModelFor(dctraffic.ClusterShape{
+		Racks: 75, ServersPerRack: 20, ExternalHosts: 30, // the paper's cluster shape
+	})
 	rng := dctraffic.NewRNG(1)
 	m := params.GenerateTM(rng)
 	fmt.Println("endpoints:", m.N())
@@ -46,7 +48,7 @@ func ExamplePaperModel() {
 // Generate a correlated sequence of traffic-matrix windows: consecutive
 // windows share conversations, as real job traffic does (Figure 10).
 func ExampleModelParams_NewSeriesGen() {
-	params := dctraffic.PaperModel(8, 10, 4)
+	params := dctraffic.PaperModelFor(dctraffic.ClusterShape{Racks: 8, ServersPerRack: 10, ExternalHosts: 4})
 	gen := params.NewSeriesGen(dctraffic.NewRNG(7))
 	w0 := gen.Next()
 	w1 := gen.Next()

@@ -1,9 +1,11 @@
-// Quickstart: simulate a small cluster for half an hour, analyze the
-// collected socket-level logs, and print the paper's headline statistics
-// plus a terminal rendition of Figure 2's traffic-matrix heat map.
+// Quickstart: simulate a small cluster for half an hour with live
+// progress, analyze the collected socket-level logs, and print the
+// paper's headline statistics plus a terminal rendition of Figure 2's
+// traffic-matrix heat map.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,12 +20,21 @@ func main() {
 
 	fmt.Printf("simulating %d servers for %v...\n",
 		cfg.Topology.Racks*cfg.Topology.ServersPerRack, cfg.Duration)
-	rr, err := dctraffic.Simulate(cfg)
+	rr, err := dctraffic.Run(context.Background(), cfg,
+		dctraffic.WithProgressInterval(10*time.Minute),
+		dctraffic.WithProgress(func(p dctraffic.Progress) {
+			fmt.Printf("  %3.0f%%  sim %v  %d flows done\n",
+				100*p.Frac(), p.SimTime, p.FlowsCompleted)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("done: %d jobs, %d flows, %.1f GB moved\n\n",
+	fmt.Printf("done: %d jobs, %d flows, %.1f GB moved\n",
 		len(rr.Cluster.Jobs()), len(rr.Records()), rr.Net.TotalBytes()/1e9)
+	for _, ph := range rr.Metrics.Phases {
+		fmt.Printf("  phase %-8s %6.2fs wall\n", ph.Name, ph.Seconds)
+	}
+	fmt.Println()
 
 	rep := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
 	fmt.Print(rep.Text())

@@ -8,12 +8,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"dctraffic/internal/cosmos"
 	"dctraffic/internal/eventlog"
 	"dctraffic/internal/netsim"
+	"dctraffic/internal/obs"
 	"dctraffic/internal/sched"
 	"dctraffic/internal/stats"
 	"dctraffic/internal/topology"
@@ -65,7 +68,9 @@ func SmallRun() RunConfig {
 }
 
 // PaperRun returns the paper-scale configuration: 75 racks × 20 servers
-// and a full day. Expect minutes of wall-clock time and a few GB of RAM.
+// and a full day. Expect wall-clock seconds to minutes depending on the
+// machine and roughly 1.5 GB of memory (measured via the obs runtime
+// sampler: 1.24 GB peak heap — see EXPERIMENTS.md "Runtime").
 func PaperRun() RunConfig {
 	sc := sched.DefaultConfig()
 	sc.JobsPerHour = 900 // scale arrivals with cluster size
@@ -82,7 +87,7 @@ func PaperRun() RunConfig {
 	}
 }
 
-// RunResult carries everything a Simulate produced.
+// RunResult carries everything a Run produced.
 type RunResult struct {
 	Config    RunConfig
 	Top       *topology.Topology
@@ -91,20 +96,124 @@ type RunResult struct {
 	Store     *cosmos.Store
 	Collector *trace.Collector
 	Log       *eventlog.Log
+
+	// Metrics is the final observability snapshot: every netsim /
+	// cosmos / scope / trace series plus wall-clock phase timings and
+	// runtime samples. Nil when metrics collection was disabled with
+	// WithObserver(nil).
+	Metrics *obs.Snapshot
 }
 
 // Records returns the socket-level flow log.
 func (r *RunResult) Records() []trace.FlowRecord { return r.Collector.Records() }
 
+// Progress is one run-loop progress report, delivered at simulated-time
+// batch boundaries (see WithProgress).
+type Progress struct {
+	// SimTime is the current simulated time; SimDuration the total
+	// (instrumented window plus drain).
+	SimTime     netsim.Time
+	SimDuration netsim.Time
+	// WallElapsed is the wall-clock time since Run started.
+	WallElapsed time.Duration
+
+	Events         uint64 // simulator events processed so far
+	QueueDepth     int    // pending events in the queue
+	ActiveFlows    int
+	FlowsStarted   int64
+	FlowsCompleted int64
+	Records        int // trace records collected
+	Jobs           int // jobs submitted
+	TotalBytes     float64
+	HeapBytes      uint64 // live heap at the batch boundary
+}
+
+// Frac reports completed simulated time as a fraction in [0, 1].
+func (p Progress) Frac() float64 {
+	if p.SimDuration <= 0 {
+		return 1
+	}
+	return float64(p.SimTime) / float64(p.SimDuration)
+}
+
+// runOptions collects the functional options of Run.
+type runOptions struct {
+	progress      func(Progress)
+	progressEvery netsim.Time
+	sink          io.Writer
+	reg           *obs.Registry
+	regSet        bool
+}
+
+// RunOption configures Run.
+type RunOption func(*runOptions)
+
+// WithProgress delivers a Progress report at every simulated-time batch
+// boundary (default every simulated minute; see WithProgressInterval).
+// The callback runs on the simulation goroutine and must not mutate the
+// run.
+func WithProgress(fn func(Progress)) RunOption {
+	return func(o *runOptions) { o.progress = fn }
+}
+
+// WithProgressInterval sets the simulated-time batch length: progress
+// reports, runtime samples and context-cancellation checks all happen
+// on these boundaries. Values ≤ 0 keep the default (one simulated
+// minute). The interval does not affect simulation results — slicing
+// the event loop is exact.
+func WithProgressInterval(d netsim.Time) RunOption {
+	return func(o *runOptions) { o.progressEvery = d }
+}
+
+// WithMetricsSink writes the final metrics snapshot as JSON to w when
+// the run completes successfully.
+func WithMetricsSink(w io.Writer) RunOption {
+	return func(o *runOptions) { o.sink = w }
+}
+
+// WithObserver uses the caller's registry instead of a fresh one, so
+// metrics can be read mid-run (from progress callbacks) or accumulated
+// across runs. Passing nil disables metrics collection entirely
+// (RunResult.Metrics will be nil) — by the obs determinism contract,
+// results are bit-identical either way.
+func WithObserver(reg *obs.Registry) RunOption {
+	return func(o *runOptions) { o.reg = reg; o.regSet = true }
+}
+
 // Simulate builds the cluster, runs the workload for the configured
-// duration plus drain, and returns the results.
+// duration plus drain, and returns the results. It is a thin wrapper
+// over Run with a background context and default options.
 func Simulate(cfg RunConfig) (*RunResult, error) {
+	return Run(context.Background(), cfg)
+}
+
+// Run builds the cluster and runs the workload under socket-level
+// instrumentation, with observability: the simulation advances in
+// simulated-time batches, and at each batch boundary Run checks ctx,
+// samples the Go runtime, and delivers a Progress report. On
+// cancellation it returns an error wrapping ctx.Err() promptly (within
+// one batch). The metrics snapshot lands in RunResult.Metrics.
+func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, error) {
+	o := runOptions{progressEvery: time.Minute}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.regSet {
+		o.reg = obs.NewRegistry()
+	}
+	if o.progressEvery <= 0 {
+		o.progressEvery = time.Minute
+	}
+	reg := o.reg
+	sw := obs.NewStopwatch()
+
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("core: non-positive duration %v", cfg.Duration)
 	}
 	if cfg.UtilBinSize <= 0 {
 		cfg.UtilBinSize = time.Second
 	}
+	stopBuild := reg.StartPhase("build")
 	top, err := topology.New(cfg.Topology)
 	if err != nil {
 		return nil, fmt.Errorf("core: topology: %w", err)
@@ -123,10 +232,56 @@ func Simulate(cfg RunConfig) (*RunResult, error) {
 		schedCfg.Seed = cfg.Seed
 	}
 	cluster := sched.NewCluster(net, store, log, schedCfg)
+	net.Instrument(reg)
+	store.Instrument(reg)
+	cluster.Instrument(reg)
+	collector.Instrument(reg)
 	cluster.Start(cfg.Duration)
-	net.Run(cfg.Duration + cfg.DrainTime)
+	stopBuild()
+
+	// The event loop, sliced into batches. Slicing is exact: running to
+	// t1 then t2 executes the same events in the same order as one run
+	// to t2, so batch size affects only observability granularity.
+	stopSim := reg.StartPhase("simulate")
+	total := cfg.Duration + cfg.DrainTime
+	peakQueue := reg.Gauge("netsim.queue_depth_peak")
+	peakFlows := reg.Gauge("netsim.active_flows_peak")
+	for t := netsim.Time(0); t < total; {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run canceled at simulated %v: %w", net.Now(), err)
+		}
+		t += o.progressEvery
+		if t > total {
+			t = total
+		}
+		net.Run(t)
+		peakQueue.SetMax(float64(net.Pending()))
+		peakFlows.SetMax(float64(net.ActiveFlows()))
+		var heap uint64
+		if reg != nil || o.progress != nil {
+			heap = reg.SampleRuntime().HeapBytes
+		}
+		if o.progress != nil {
+			o.progress(Progress{
+				SimTime:        t,
+				SimDuration:    total,
+				WallElapsed:    sw.Elapsed(),
+				Events:         net.EventsProcessed(),
+				QueueDepth:     net.Pending(),
+				ActiveFlows:    net.ActiveFlows(),
+				FlowsStarted:   net.FlowsStarted(),
+				FlowsCompleted: net.FlowsCompleted(),
+				Records:        collector.NumRecords(),
+				Jobs:           len(cluster.Jobs()),
+				TotalBytes:     net.TotalBytes(),
+				HeapBytes:      heap,
+			})
+		}
+	}
 	net.Flush()
-	return &RunResult{
+	stopSim()
+
+	rr := &RunResult{
 		Config:    cfg,
 		Top:       top,
 		Net:       net,
@@ -134,5 +289,15 @@ func Simulate(cfg RunConfig) (*RunResult, error) {
 		Store:     store,
 		Collector: collector,
 		Log:       log,
-	}, nil
+	}
+	if reg != nil {
+		reg.SampleRuntime()
+		rr.Metrics = reg.Snapshot()
+		if o.sink != nil {
+			if err := rr.Metrics.WriteJSON(o.sink); err != nil {
+				return nil, fmt.Errorf("core: metrics sink: %w", err)
+			}
+		}
+	}
+	return rr, nil
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"slices"
 
+	"dctraffic/internal/obs"
 	"dctraffic/internal/stats"
 	"dctraffic/internal/topology"
 )
@@ -78,6 +79,12 @@ type Store struct {
 	byServer map[topology.ServerID]map[ExtentID]bool
 	datasets map[string]*Dataset
 	nextID   ExtentID
+
+	// Metric handles (nil when uninstrumented; methods are nil-safe).
+	metReplPlannedBytes *obs.Counter
+	metEvacPlannedBytes *obs.Counter
+	metCommittedBytes   *obs.Counter
+	metExtentsCreated   *obs.Counter
 }
 
 // NewStore creates an empty store over the topology. rng drives placement
@@ -104,6 +111,18 @@ func NewStore(top *topology.Topology, cfg Config, rng *stats.RNG) *Store {
 
 // Config returns the store configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// Instrument registers the store's cosmos.* series with the registry.
+// Write-only from the store's perspective (see the obs package
+// contract); safe to call with a nil registry.
+func (s *Store) Instrument(r *obs.Registry) {
+	s.metReplPlannedBytes = r.Counter("cosmos.replication_planned_bytes_total")
+	s.metEvacPlannedBytes = r.Counter("cosmos.evacuation_planned_bytes_total")
+	s.metCommittedBytes = r.Counter("cosmos.transfer_committed_bytes_total")
+	s.metExtentsCreated = r.Counter("cosmos.extents_created_total")
+	r.SampledGauge("cosmos.extents", func() float64 { return float64(len(s.extents)) })
+	r.SampledGauge("cosmos.datasets", func() float64 { return float64(len(s.datasets)) })
+}
 
 // NumExtents reports the number of stored extents.
 func (s *Store) NumExtents() int { return len(s.extents) }
@@ -152,6 +171,7 @@ func (s *Store) CreateExtent(bytes int64, preferred topology.ServerID) (*Extent,
 	s.nextID++
 	s.extents[e.ID] = e
 	s.index(primary, e.ID)
+	s.metExtentsCreated.Inc()
 
 	var transfers []Transfer
 	for 1+len(transfers) < s.cfg.ReplicationFactor {
@@ -160,6 +180,7 @@ func (s *Store) CreateExtent(bytes int64, preferred topology.ServerID) (*Extent,
 			break
 		}
 		transfers = append(transfers, Transfer{Extent: e.ID, Src: primary, Dst: dst, Bytes: bytes})
+		s.metReplPlannedBytes.Add(bytes)
 		// Reserve so subsequent picks avoid it; un-reserved below.
 		e.Replicas = append(e.Replicas, dst)
 	}
@@ -223,6 +244,7 @@ func (s *Store) CommitTransfer(t Transfer) error {
 	}
 	e.Replicas = append(e.Replicas, t.Dst)
 	s.index(t.Dst, e.ID)
+	s.metCommittedBytes.Add(t.Bytes)
 	return nil
 }
 
@@ -362,6 +384,7 @@ func (s *Store) Evacuate(srv topology.ServerID) []Transfer {
 			continue
 		}
 		out = append(out, Transfer{Extent: id, Src: srv, Dst: dst, Bytes: e.Bytes})
+		s.metEvacPlannedBytes.Add(e.Bytes)
 	}
 	return out
 }

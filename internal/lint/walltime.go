@@ -13,11 +13,21 @@ import (
 // results to the host machine and destroys reproducibility. Wall-clock
 // use is fine in cmd/ (progress reporting) and in _test.go files
 // (which this analyzer skips).
+//
+// internal/obs is exempted by design: it is the observability layer,
+// whose whole job is relating simulated progress to the host clock
+// (phase timers, heap samples, events/sec). The exemption is safe
+// because obs is write-only from the simulation's perspective — no
+// simulated-time path ever reads a metric back — and that contract is
+// regression-tested (internal/core's observer-on/off digest test).
+// Every other internal/ package stays clock-free.
 var WallTime = &Analyzer{
-	Name:      "walltime",
-	Doc:       "wall-clock call in a simulation package; use simulated time",
-	AppliesTo: func(pkgPath string) bool { return strings.Contains(pkgPath, "internal/") },
-	Run:       runWallTime,
+	Name: "walltime",
+	Doc:  "wall-clock call in a simulation package; use simulated time",
+	AppliesTo: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "internal/") && !strings.Contains(pkgPath, "internal/obs")
+	},
+	Run: runWallTime,
 }
 
 // wallClockFuncs are the package time functions that observe or wait on

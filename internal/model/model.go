@@ -63,11 +63,37 @@ type Params struct {
 	Window netsim.Time
 }
 
+// ClusterShape names the dimensions of a simulated cluster — the three
+// numbers that parameterize the generative model. A named struct
+// replaces the old positional-int signature (racks, servers, hosts are
+// all ints; call sites were unreadable and transposable).
+type ClusterShape struct {
+	Racks          int
+	ServersPerRack int
+	ExternalHosts  int
+}
+
+// Servers reports the cluster server count.
+func (s ClusterShape) Servers() int { return s.Racks * s.ServersPerRack }
+
 // PaperDefaults returns parameters hand-tuned to reproduce the paper's
+// reported statistics at the given cluster shape.
+//
+// Deprecated: use PaperDefaultsFor with a ClusterShape.
+func PaperDefaults(racks, serversPerRack, externalHosts int) Params {
+	return PaperDefaultsFor(ClusterShape{
+		Racks:          racks,
+		ServersPerRack: serversPerRack,
+		ExternalHosts:  externalHosts,
+	})
+}
+
+// PaperDefaultsFor returns parameters hand-tuned to reproduce the paper's
 // reported statistics at the given cluster shape: ~89%/99.5% silent pairs,
 // median ≈2 within-rack and ≈4 cross-rack correspondents, non-zero entries
 // spanning loge(Bytes) ∈ [4, 20] with within-rack entries larger.
-func PaperDefaults(racks, serversPerRack, externalHosts int) Params {
+func PaperDefaultsFor(shape ClusterShape) Params {
+	racks, serversPerRack, externalHosts := shape.Racks, shape.ServersPerRack, shape.ExternalHosts
 	return Params{
 		Racks:          racks,
 		ServersPerRack: serversPerRack,

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"time"
 
+	"dctraffic/internal/obs"
 	"dctraffic/internal/topology"
 )
 
@@ -111,6 +112,14 @@ type Network struct {
 	totalBytes     float64
 	flowsStarted   int64
 	flowsCompleted int64
+	flowsCanceled  int64
+
+	// Allocator telemetry (see Instrument). Plain counters cost nothing
+	// on the hot path and are exported as sampled series; the component
+	// histogram is an obs handle with a nil-safe Observe.
+	recomputesDirty int64
+	recomputesFull  int64
+	metCompLinks    *obs.Histogram
 }
 
 // New builds a network over the topology.
@@ -156,6 +165,26 @@ func New(top *topology.Topology, opts Options) *Network {
 
 // Top returns the topology.
 func (n *Network) Top() *topology.Topology { return n.top }
+
+// Instrument registers the simulator's netsim.* series with the
+// registry. Counters the simulator maintains natively are exported as
+// sampled series (zero hot-path cost); the dirty-component size
+// histogram gets a handle with a nil-safe Observe. Metrics are
+// write-only from the simulation's perspective — nothing here feeds
+// back into event order, RNG draws or rates — so instrumenting a run
+// cannot change its results. Safe to call with a nil registry.
+func (n *Network) Instrument(r *obs.Registry) {
+	r.SampledCounter("netsim.events_total", func() float64 { return float64(n.EventsProcessed()) })
+	r.SampledGauge("netsim.queue_depth", func() float64 { return float64(n.Pending()) })
+	r.SampledGauge("netsim.active_flows", func() float64 { return float64(len(n.active)) })
+	r.SampledCounter("netsim.flows_started_total", func() float64 { return float64(n.flowsStarted) })
+	r.SampledCounter("netsim.flows_completed_total", func() float64 { return float64(n.flowsCompleted) })
+	r.SampledCounter("netsim.flows_canceled_total", func() float64 { return float64(n.flowsCanceled) })
+	r.SampledCounter("netsim.bytes_total", func() float64 { return n.totalBytes })
+	r.SampledCounter("netsim.recomputes_dirty_total", func() float64 { return float64(n.recomputesDirty) })
+	r.SampledCounter("netsim.recomputes_full_total", func() float64 { return float64(n.recomputesFull) })
+	n.metCompLinks = r.Histogram("netsim.recompute_component_links", obs.Pow2Bounds(1, 16))
+}
 
 // AddObserver registers a flow lifecycle observer.
 func (n *Network) AddObserver(o Observer) { n.observers = append(n.observers, o) }
@@ -375,6 +404,7 @@ func (n *Network) recomputeDirty() {
 	if len(n.seedLinks) == 0 {
 		return
 	}
+	n.recomputesDirty++
 	n.compGen++
 	gen := n.compGen
 	comp := n.compLinks[:0]
@@ -408,12 +438,14 @@ func (n *Network) recomputeDirty() {
 	// floating-point rounding) identical to a full re-solve.
 	slices.Sort(comp)
 	n.compLinks = comp
+	n.metCompLinks.Observe(float64(len(comp)))
 	n.solve(comp, unfrozen)
 }
 
 // recomputeRates re-solves every active flow from scratch (the
 // FullRecompute path, also used by benchmarks as the worst-case solve).
 func (n *Network) recomputeRates() {
+	n.recomputesFull++
 	// Drop the dirty bookkeeping: a full solve covers everything.
 	for _, l := range n.seedLinks {
 		n.seedMark[l] = false
@@ -560,6 +592,7 @@ func (n *Network) Cancel(f *Flow) {
 	n.retire(f)
 	f.Canceled = true
 	f.End = n.Now()
+	n.flowsCanceled++
 	for _, o := range n.observers {
 		o.FlowEnded(f)
 	}
@@ -592,6 +625,7 @@ func (n *Network) CancelWhere(pred func(*Flow) bool) int {
 		n.retire(f)
 		f.Canceled = true
 		f.End = n.Now()
+		n.flowsCanceled++
 		for _, o := range n.observers {
 			o.FlowEnded(f)
 		}

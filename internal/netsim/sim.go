@@ -54,14 +54,18 @@ func (q *eventQueue) Pop() any {
 // Sim is the discrete-event core: a clock and an ordered event queue.
 // Embed or compose it; the zero value is ready to use.
 type Sim struct {
-	now     Time
-	queue   eventQueue
-	nextSeq uint64
-	stopped bool
+	now       Time
+	queue     eventQueue
+	nextSeq   uint64
+	processed uint64
+	stopped   bool
 }
 
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }
+
+// EventsProcessed reports the cumulative number of events executed.
+func (s *Sim) EventsProcessed() uint64 { return s.processed }
 
 // Schedule runs fn at the given absolute simulation time. Events scheduled
 // in the past run at the current time (immediately, in order). Events at
@@ -88,6 +92,7 @@ func (s *Sim) Run(until Time) {
 		}
 		heap.Pop(&s.queue)
 		s.now = e.at
+		s.processed++
 		e.fn()
 	}
 	if s.now < until {
@@ -101,6 +106,7 @@ func (s *Sim) RunAll() {
 	for len(s.queue) > 0 && !s.stopped {
 		e := heap.Pop(&s.queue).(*event)
 		s.now = e.at
+		s.processed++
 		e.fn()
 	}
 }

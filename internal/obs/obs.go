@@ -1,0 +1,294 @@
+// Package obs is the observability layer of the simulator: a
+// zero-dependency metrics registry (counters, gauges, histograms and
+// sampled functions) plus the wall-clock collectors in walltime.go
+// (phase timers, runtime samples).
+//
+// Determinism contract: obs is write-only from the simulation's point of
+// view. Subsystems feed instruments; nothing in a simulated-time path
+// ever reads one back, so attaching or detaching a Registry cannot
+// change a run's results (regression-tested in internal/core). Metric
+// values are read only at batch boundaries of the driving run loop and
+// at Snapshot time. This package is the one internal/ package exempted
+// from the dctlint walltime analyzer — it exists precisely to relate
+// simulated progress to the host clock — and that exemption is safe
+// because of the write-only contract above.
+//
+// Every instrument is registered under a dotted name
+// ("netsim.events_total"); registration order is the caller's fixed
+// source order, and Snapshot exports series det-sorted by name, so
+// snapshots of same-shaped runs are structurally identical.
+//
+// A nil *Registry is valid everywhere: registration methods return nil
+// instruments and every instrument method is a no-op on a nil receiver,
+// so subsystems instrument unconditionally and pay one predictable
+// nil-check when observability is off.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing int64 instrument.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value float64 instrument.
+type Gauge struct {
+	v float64
+}
+
+// Set records v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// SetMax records v only if it exceeds the current value — a running
+// maximum (peak queue depth, peak heap). No-op on a nil receiver.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets with upper bounds
+// (cumulative on export, Prometheus-style; the implicit +Inf bucket is
+// the total count).
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	// Linear scan: bucket counts are small (≤ ~32) and the branch
+	// predictor does well on skewed workloads.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Pow2Bounds returns n histogram bounds lo, 2lo, 4lo, … — the standard
+// bucketing for fan-outs and component sizes.
+func Pow2Bounds(lo float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo
+		lo *= 2
+	}
+	return out
+}
+
+// instrument is one registered series.
+type instrument struct {
+	name        string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	sampled     func() float64
+	sampledKind string
+}
+
+// Registry holds the instruments of one run. It is not goroutine-safe:
+// the simulator is single-goroutine and the registry is driven from the
+// same run loop. Create with NewRegistry; a nil *Registry disables
+// collection (see the package comment).
+type Registry struct {
+	byName map[string]*instrument
+	order  []*instrument // registration order
+	phases []PhaseTiming
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*instrument)}
+}
+
+// lookup returns the existing instrument for name, or registers a new
+// one built by mk. Re-registering a name returns the existing
+// instrument, so a registry can be reused across runs and keep
+// accumulating; registering the same name as a different instrument
+// kind panics (a wiring bug, not a runtime condition).
+func (r *Registry) lookup(name string, mk func() *instrument) *instrument {
+	if in, ok := r.byName[name]; ok {
+		return in
+	}
+	in := mk()
+	r.byName[name] = in
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter registers (or fetches) the counter with the given name.
+// Returns nil on a nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	in := r.lookup(name, func() *instrument {
+		return &instrument{name: name, counter: &Counter{}}
+	})
+	if in.counter == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a non-counter", name))
+	}
+	return in.counter
+}
+
+// Gauge registers (or fetches) the gauge with the given name. Returns
+// nil on a nil receiver.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	in := r.lookup(name, func() *instrument {
+		return &instrument{name: name, gauge: &Gauge{}}
+	})
+	if in.gauge == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a non-gauge", name))
+	}
+	return in.gauge
+}
+
+// Histogram registers (or fetches) the histogram with the given name
+// and bucket upper bounds (ascending). Returns nil on a nil receiver.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	in := r.lookup(name, func() *instrument {
+		return &instrument{name: name, hist: &Histogram{
+			bounds: bounds,
+			counts: make([]int64, len(bounds)),
+		}}
+	})
+	if in.hist == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a non-histogram", name))
+	}
+	return in.hist
+}
+
+// SampledCounter registers a cumulative series whose value is read by
+// calling fn at Snapshot time — the zero-hot-path-cost way to export
+// counts a subsystem already maintains natively. No-op on a nil
+// receiver.
+func (r *Registry) SampledCounter(name string, fn func() float64) {
+	r.sampledSeries(name, "counter", fn)
+}
+
+// SampledGauge registers an instantaneous series read by calling fn at
+// Snapshot time (queue depth, active flows). No-op on a nil receiver.
+func (r *Registry) SampledGauge(name string, fn func() float64) {
+	r.sampledSeries(name, "gauge", fn)
+}
+
+func (r *Registry) sampledSeries(name, kind string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	in := r.lookup(name, func() *instrument {
+		return &instrument{name: name, sampled: fn, sampledKind: kind}
+	})
+	if in.sampled == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a non-sampled series", name))
+	}
+	in.sampled = fn // re-registration rebinds to the current subsystem
+	in.sampledKind = kind
+}
+
+// Snapshot exports every registered series, sorted by name, plus the
+// recorded phase timings. Sampled series are evaluated now.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Series: make([]Series, 0, len(r.order)),
+		Phases: append([]PhaseTiming(nil), r.phases...),
+	}
+	for _, in := range r.order {
+		se := Series{Name: in.name}
+		switch {
+		case in.counter != nil:
+			se.Kind = "counter"
+			se.Value = float64(in.counter.v)
+		case in.gauge != nil:
+			se.Kind = "gauge"
+			se.Value = in.gauge.v
+		case in.sampled != nil:
+			se.Kind = in.sampledKind
+			se.Value = in.sampled()
+		case in.hist != nil:
+			se.Kind = "histogram"
+			se.Count = in.hist.n
+			se.Sum = in.hist.sum
+			cum := int64(0)
+			for i, b := range in.hist.bounds {
+				cum += in.hist.counts[i]
+				se.Buckets = append(se.Buckets, Bucket{LE: b, Count: cum})
+			}
+		}
+		s.Series = append(s.Series, se)
+	}
+	sort.Slice(s.Series, func(i, j int) bool { return s.Series[i].Name < s.Series[j].Name })
+	return s
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("a.g")
+	g.Set(3)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("a.h", Pow2Bounds(1, 4))
+	h.Observe(2)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	r.SampledCounter("a.s", func() float64 { return 1 })
+	r.SampledGauge("a.sg", func() float64 { return 1 })
+	stop := r.StartPhase("x")
+	stop()
+	if s := r.Snapshot(); s != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	r.SampleRuntime() // must not panic
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("netsim.events_total")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if again := r.Counter("netsim.events_total"); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+
+	g := r.Gauge("netsim.queue_depth")
+	g.Set(7)
+	g.SetMax(3) // lower: ignored
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %v, want 7", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Fatalf("gauge = %v, want 11", g.Value())
+	}
+
+	h := r.Histogram("scope.vertex_fanout", []float64{1, 2, 4, 8})
+	for _, v := range []float64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	s := r.Snapshot()
+	se, ok := s.Get("scope.vertex_fanout")
+	if !ok || se.Kind != "histogram" {
+		t.Fatalf("missing histogram series: %+v", se)
+	}
+	// Cumulative buckets: ≤1:1, ≤2:2, ≤4:3, ≤8:3 (100 overflows).
+	want := []int64{1, 2, 3, 3}
+	for i, b := range se.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d count=%d want %d", i, b.Count, want[i])
+		}
+	}
+}
+
+func TestSnapshotSortedAndSampled(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of name order.
+	r.Counter("z.last").Inc()
+	r.SampledCounter("m.sampled", func() float64 { return 17 })
+	r.SampledGauge("m.depth", func() float64 { return 3 })
+	r.Counter("a.first").Add(2)
+	s := r.Snapshot()
+	var names []string
+	for _, se := range s.Series {
+		names = append(names, se.Name)
+	}
+	if strings.Join(names, ",") != "a.first,m.depth,m.sampled,z.last" {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	if s.Value("m.sampled") != 17 {
+		t.Fatalf("sampled counter = %v", s.Value("m.sampled"))
+	}
+	if se, _ := s.Get("m.depth"); se.Kind != "gauge" || se.Value != 3 {
+		t.Fatalf("sampled gauge = %+v", se)
+	}
+}
+
+func TestSnapshotJSONRoundTripAndRequire(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("netsim.events_total").Add(10)
+	r.Counter("trace.records_total").Add(3)
+	r.Histogram("scope.vertex_fanout", Pow2Bounds(1, 3)).Observe(2)
+	stop := r.StartPhase("simulate")
+	stop()
+	stop() // idempotent
+	r.SampleRuntime()
+	s := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Value("netsim.events_total") != 10 {
+		t.Fatalf("round-trip lost counter: %v", back.Value("netsim.events_total"))
+	}
+	if len(back.Phases) != 1 || back.Phases[0].Name != "simulate" {
+		t.Fatalf("round-trip lost phases: %+v", back.Phases)
+	}
+	if err := back.Require("netsim.", "trace.", "scope.", "runtime."); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Require("cosmos."); err == nil {
+		t.Fatal("Require must fail on a missing prefix")
+	}
+	if v := back.Value("runtime.heap_peak_bytes"); v <= 0 {
+		t.Fatalf("runtime sampler recorded no heap peak: %v", v)
+	}
+}
+
+func TestRegistryReuseAccumulates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.total").Add(2)
+	// A second "run" registering the same name keeps accumulating.
+	r.Counter("x.total").Add(3)
+	if v := r.Snapshot().Value("x.total"); v != 5 {
+		t.Fatalf("x.total = %v, want 5", v)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a name as two kinds must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup")
+	r.Gauge("dup")
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket: Count observations were
+// ≤ LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Series is one exported metric.
+type Series struct {
+	Name string `json:"name"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Value holds counter/gauge values; zero for histograms.
+	Value float64 `json:"value"`
+	// Count, Sum and Buckets are set for histograms only.
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// PhaseTiming is one wall-clock phase measurement.
+type PhaseTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Snapshot is the exported state of a Registry: series sorted by name
+// plus phase timings in completion order. Series values and ordering
+// are deterministic for a given seed; phase Seconds are wall-clock and
+// vary run to run.
+type Snapshot struct {
+	Series []Series      `json:"series"`
+	Phases []PhaseTiming `json:"phases,omitempty"`
+}
+
+// Get returns the series with the given name.
+func (s *Snapshot) Get(name string) (Series, bool) {
+	if s == nil {
+		return Series{}, false
+	}
+	for _, se := range s.Series {
+		if se.Name == name {
+			return se, true
+		}
+	}
+	return Series{}, false
+}
+
+// Value returns the value of the named counter/gauge series (0 if
+// absent).
+func (s *Snapshot) Value(name string) float64 {
+	se, _ := s.Get(name)
+	return se.Value
+}
+
+// Require verifies that for every given prefix at least one series with
+// that prefix exists, returning an error naming the first missing one.
+// Used by the smoke-metrics check.
+func (s *Snapshot) Require(prefixes ...string) error {
+	if s == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
+	for _, p := range prefixes {
+		found := false
+		for _, se := range s.Series {
+			if strings.HasPrefix(se.Name, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("obs: snapshot has no series with prefix %q", p)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot previously written with WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,81 @@
+// Wall-clock collectors. This file is why internal/obs is exempted from
+// the dctlint walltime analyzer: relating simulated progress to the
+// host clock (phase timers, events/sec, heap growth) requires reading
+// time.Now, and doing it here — outside every simulated-time path,
+// never read back by sim logic — keeps the rest of internal/ provably
+// clock-free. Do not import this package's wall-clock helpers from code
+// that runs inside the event loop.
+
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Stopwatch measures elapsed wall-clock time. The zero value is not
+// ready; create with NewStopwatch.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch returns a running stopwatch.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall-clock time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
+
+// StartPhase begins a named wall-clock phase timer; the returned stop
+// function records the timing into the registry (exported in
+// Snapshot.Phases, in completion order). Stop is idempotent. On a nil
+// receiver the returned stop is a no-op.
+func (r *Registry) StartPhase(name string) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		r.phases = append(r.phases, PhaseTiming{
+			Name:    name,
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+}
+
+// RuntimeSample is one reading of the Go runtime's own telemetry.
+type RuntimeSample struct {
+	HeapBytes  uint64 // live heap (MemStats.HeapAlloc)
+	SysBytes   uint64 // total bytes obtained from the OS
+	NumGC      uint32
+	Goroutines int
+}
+
+// SampleRuntime reads heap and goroutine telemetry, updates the
+// registry's runtime.* gauges (including the running heap peak), and
+// returns the sample. Safe on a nil receiver (the sample is still
+// taken). Call it from batch boundaries, not from inside the event
+// loop: ReadMemStats briefly stops the world.
+func (r *Registry) SampleRuntime() RuntimeSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSample{
+		HeapBytes:  ms.HeapAlloc,
+		SysBytes:   ms.Sys,
+		NumGC:      ms.NumGC,
+		Goroutines: runtime.NumGoroutine(),
+	}
+	if r == nil {
+		return s
+	}
+	r.Gauge("runtime.heap_bytes").Set(float64(s.HeapBytes))
+	r.Gauge("runtime.heap_peak_bytes").SetMax(float64(s.HeapBytes))
+	r.Gauge("runtime.sys_bytes").Set(float64(s.SysBytes))
+	r.Gauge("runtime.goroutines").Set(float64(s.Goroutines))
+	r.Gauge("runtime.gc_cycles").Set(float64(s.NumGC))
+	return s
+}

@@ -8,6 +8,7 @@ import (
 	"dctraffic/internal/cosmos"
 	"dctraffic/internal/eventlog"
 	"dctraffic/internal/netsim"
+	"dctraffic/internal/obs"
 	"dctraffic/internal/scope"
 	"dctraffic/internal/stats"
 	"dctraffic/internal/topology"
@@ -38,6 +39,16 @@ type Cluster struct {
 	vlanReads          int64
 	remoteReads        int64
 	maxConcurrentPulls int
+
+	// Metric handles for the scope-layer series (nil when
+	// uninstrumented; methods are nil-safe).
+	metJobsSubmitted   *obs.Counter
+	metJobsCompleted   *obs.Counter
+	metJobsKilled      *obs.Counter
+	metPhasesStarted   *obs.Counter
+	metPhasesCompleted *obs.Counter
+	metVerticesStarted *obs.Counter
+	metVertexFanout    *obs.Histogram
 }
 
 // NewCluster wires a job manager over a network, block store and log.
@@ -84,6 +95,25 @@ func NewCluster(net *netsim.Network, store *cosmos.Store, log *eventlog.Log, cfg
 
 // Config returns the effective (default-filled) configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// Instrument registers the scope.* workload series with the registry:
+// job lifecycle counts, phase starts/finishes and the per-phase vertex
+// fan-out histogram. Write-only from the scheduler's perspective (see
+// the obs package contract); safe to call with a nil registry.
+func (c *Cluster) Instrument(r *obs.Registry) {
+	c.metJobsSubmitted = r.Counter("scope.jobs_submitted_total")
+	c.metJobsCompleted = r.Counter("scope.jobs_completed_total")
+	c.metJobsKilled = r.Counter("scope.jobs_killed_total")
+	c.metPhasesStarted = r.Counter("scope.phases_started_total")
+	c.metPhasesCompleted = r.Counter("scope.phases_completed_total")
+	c.metVerticesStarted = r.Counter("scope.vertices_started_total")
+	c.metVertexFanout = r.Histogram("scope.vertex_fanout", obs.Pow2Bounds(1, 14))
+	r.SampledCounter("scope.reads_local_total", func() float64 { return float64(c.localReads) })
+	r.SampledCounter("scope.reads_rack_total", func() float64 { return float64(c.rackReads) })
+	r.SampledCounter("scope.reads_vlan_total", func() float64 { return float64(c.vlanReads) })
+	r.SampledCounter("scope.reads_remote_total", func() float64 { return float64(c.remoteReads) })
+	r.SampledGauge("scope.waiting_vertex_starts", func() float64 { return float64(len(c.waiting)) })
+}
 
 // Jobs returns all jobs submitted so far.
 func (c *Cluster) Jobs() []*Job { return c.jobs }

@@ -96,6 +96,7 @@ func (c *Cluster) Submit(spec *scope.JobSpec) (*Job, error) {
 		j.locs[i] = make([]vertexLoc, 0, len(p.Vertices))
 	}
 	c.jobs = append(c.jobs, j)
+	c.metJobsSubmitted.Inc()
 	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.JobSubmitted, Job: j.ID, Name: spec.Name})
 	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.JobStarted, Job: j.ID})
 	for i, p := range wf.Phases {
@@ -113,6 +114,9 @@ func (c *Cluster) startPhase(j *Job, p int) {
 	}
 	j.started[p] = true
 	ph := j.WF.Phases[p]
+	c.metPhasesStarted.Inc()
+	c.metVertexFanout.Observe(float64(len(ph.Vertices)))
+	c.metVerticesStarted.Add(int64(len(ph.Vertices)))
 	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.PhaseStarted, Job: j.ID, Phase: p, Name: ph.Type.String()})
 	switch ph.Type {
 	case scope.Extract:
@@ -317,6 +321,7 @@ func (c *Cluster) killJob(j *Job, reason string) {
 	j.Killed = true
 	j.finished = true
 	j.End = c.net.Now()
+	c.metJobsKilled.Inc()
 	c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.JobKilled, Job: j.ID, Name: reason})
 	// Reap the dead job's in-flight transfers; their callbacks observe
 	// Canceled and unwind vertex resources.
@@ -363,6 +368,7 @@ func (c *Cluster) phaseMaybeComplete(j *Job, p int) {
 	}
 	j.completed[p] = true
 	if !j.Killed {
+		c.metPhasesCompleted.Inc()
 		c.log.Append(eventlog.Record{Time: c.net.Now(), Type: eventlog.PhaseCompleted, Job: j.ID, Phase: p})
 	}
 	// Start phases whose deps are now all complete.
@@ -395,6 +401,7 @@ func (c *Cluster) completeJob(j *Job) {
 	}
 	j.finished = true
 	j.End = c.net.Now()
+	c.metJobsCompleted.Inc()
 	c.log.Append(eventlog.Record{Time: j.End, Type: eventlog.JobCompleted, Job: j.ID})
 	if c.top.NumHosts() > c.top.NumServers() && c.rng.Bool(c.cfg.EgressProbability) {
 		ext := topology.ServerID(c.top.NumServers() + c.rng.IntN(c.top.NumHosts()-c.top.NumServers()))

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	recs := sampleRecords(100)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(recs) {
+		t.Fatalf("writer count %d, want %d", w.Count(), len(recs))
+	}
+
+	r := NewReader(&buf)
+	var back []FlowRecord
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		back = append(back, rec)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d round-trip mismatch: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+// The slice convenience functions are reimplemented over the streaming
+// pair; the wire format must be the same either way.
+func TestSliceAndStreamFormatsAgree(t *testing.T) {
+	recs := sampleRecords(10)
+	var slice, stream bytes.Buffer
+	if err := WriteJSONL(&slice, recs); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(&stream)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if slice.String() != stream.String() {
+		t.Fatal("slice and streaming writers produced different bytes")
+	}
+	back, err := ReadJSONL(&slice)
+	if err != nil || len(back) != len(recs) {
+		t.Fatalf("ReadJSONL: %v (%d records)", err, len(back))
+	}
+}
+
+func TestReaderBadInput(t *testing.T) {
+	r := NewReader(strings.NewReader("{\"id\":1}\nnot json\n"))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first record should parse: %v", err)
+	}
+	_, err := r.Read()
+	if err == nil || err == io.EOF {
+		t.Fatal("malformed line should error")
+	}
+	if !strings.Contains(err.Error(), "record 1") {
+		t.Fatalf("error should name the record index: %v", err)
+	}
+}

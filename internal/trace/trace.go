@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"dctraffic/internal/netsim"
+	"dctraffic/internal/obs"
 	"dctraffic/internal/topology"
 )
 
@@ -117,6 +118,10 @@ type Collector struct {
 	events   []int64 // socket events captured
 	netBytes []int64 // network bytes observed
 	started  int64
+
+	// Metric handles (nil when uninstrumented; methods are nil-safe).
+	metRecords      *obs.Counter
+	metSocketEvents *obs.Counter
 }
 
 // NewCollector builds a collector for the topology.
@@ -127,6 +132,14 @@ func NewCollector(top *topology.Topology, cfg Config) *Collector {
 		events:   make([]int64, top.NumServers()),
 		netBytes: make([]int64, top.NumServers()),
 	}
+}
+
+// Instrument registers the collector's trace.* series with the
+// registry. Write-only from the collector's perspective (see the obs
+// package contract); safe to call with a nil registry.
+func (c *Collector) Instrument(r *obs.Registry) {
+	c.metRecords = r.Counter("trace.records_total")
+	c.metSocketEvents = r.Counter("trace.socket_events_total")
 }
 
 // FlowStarted implements netsim.Observer.
@@ -159,6 +172,7 @@ func (c *Collector) FlowEnded(f *netsim.Flow) {
 		Start: f.Start, End: f.End, Bytes: moved, Tag: f.Tag,
 		Canceled: f.Canceled,
 	})
+	c.metRecords.Inc()
 }
 
 func (c *Collector) account(s topology.ServerID, events, bytes int64) {
@@ -167,6 +181,7 @@ func (c *Collector) account(s topology.ServerID, events, bytes int64) {
 	}
 	c.events[s] += events
 	c.netBytes[s] += bytes
+	c.metSocketEvents.Add(events)
 }
 
 // Records returns the completed-flow log in completion order. The slice is
@@ -260,29 +275,84 @@ func (c *Collector) MeasuredCompression(limit int) (float64, error) {
 	return MeasureCompression(recs)
 }
 
-// WriteJSONL streams records to w, one JSON object per line (the format
-// cmd/dcsim emits and cmd/dcanalyze reads).
-func WriteJSONL(w io.Writer, records []FlowRecord) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := range records {
-		if err := enc.Encode(&records[i]); err != nil {
-			return fmt.Errorf("trace: encode record %d: %w", i, err)
-		}
-	}
-	return bw.Flush()
+// Writer streams flow records to an io.Writer one JSON line at a time
+// (the format cmd/dcsim emits and cmd/dcanalyze reads), so a
+// paper-scale trace never needs to be fully materialized in memory.
+// Call Flush when done.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
 }
 
-// ReadJSONL parses a JSONL flow-record stream.
+// NewWriter returns a streaming JSONL trace writer over w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record to the stream.
+func (w *Writer) Write(rec *FlowRecord) error {
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("trace: encode record %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count reports the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush writes any buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams flow records from a JSONL trace one record at a time.
+type Reader struct {
+	dec *json.Decoder
+	n   int
+}
+
+// NewReader returns a streaming JSONL trace reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Read returns the next record. It returns io.EOF (unwrapped) at the
+// end of the stream.
+func (r *Reader) Read() (FlowRecord, error) {
+	var rec FlowRecord
+	if err := r.dec.Decode(&rec); err == io.EOF {
+		return rec, io.EOF
+	} else if err != nil {
+		return rec, fmt.Errorf("trace: decode record %d: %w", r.n, err)
+	}
+	r.n++
+	return rec, nil
+}
+
+// WriteJSONL writes a fully-materialized record slice as JSONL — a
+// convenience over Writer for in-memory traces.
+func WriteJSONL(w io.Writer, records []FlowRecord) error {
+	tw := NewWriter(w)
+	for i := range records {
+		if err := tw.Write(&records[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// ReadJSONL parses an entire JSONL flow-record stream into memory — a
+// convenience over Reader for small traces.
 func ReadJSONL(r io.Reader) ([]FlowRecord, error) {
+	tr := NewReader(r)
 	var out []FlowRecord
-	dec := json.NewDecoder(bufio.NewReader(r))
 	for {
-		var rec FlowRecord
-		if err := dec.Decode(&rec); err == io.EOF {
+		rec, err := tr.Read()
+		if err == io.EOF {
 			return out, nil
 		} else if err != nil {
-			return nil, fmt.Errorf("trace: decode record %d: %w", len(out), err)
+			return nil, err
 		}
 		out = append(out, rec)
 	}
