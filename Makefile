@@ -23,11 +23,13 @@ lint:
 	$(GO) run ./cmd/dctlint ./...
 
 # The default verify path: vet, the determinism linter, the full suite,
-# and the race detector over the two packages that deliver observer
-# callbacks.
+# the race detector over the two packages that deliver observer
+# callbacks, and the parallel-analysis race leg (the task slots of the
+# analyze pipeline must stay disjoint).
 test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/netsim ./internal/sched
+	$(GO) test -race -run 'TestAnalyzeParallel' ./internal/core
 
 test-short:
 	$(GO) test -short ./...
@@ -46,10 +48,12 @@ smoke-metrics:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Machine-readable snapshot of the netsim allocator benchmarks, tracked
-# in-repo so future PRs can see the perf trajectory.
+# Machine-readable snapshots of the netsim allocator and analysis
+# pipeline benchmarks, tracked in-repo so future PRs can see the perf
+# trajectory.
 bench-snapshot:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/netsim | $(GO) run ./cmd/benchjson > BENCH_netsim.json
+	$(GO) test -bench 'BenchmarkAnalyze' -benchmem -run '^$$' ./internal/core | $(GO) run ./cmd/benchjson > BENCH_analyze.json
 
 # Regenerate every figure's data series into ./figures (laptop scale, 2 h).
 figures:

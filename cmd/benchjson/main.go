@@ -30,6 +30,8 @@ type Result struct {
 // Snapshot is the output document.
 type Snapshot struct {
 	Pkg        string            `json:"pkg,omitempty"`
+	GOOS       string            `json:"goos,omitempty"`
+	GOARCH     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
@@ -43,6 +45,12 @@ func main() {
 		switch {
 		case strings.HasPrefix(line, "pkg:"):
 			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))

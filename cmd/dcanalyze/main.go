@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,9 @@ func main() {
 	tsvDir := flag.String("tsv", "", "also write every figure's data series as TSV files into this directory")
 	paper := flag.Bool("paper", false, "use the paper-scale configuration (75 racks x 20 servers, 24h)")
 	jsonOut := flag.Bool("json", false, "print the machine-readable headline digest instead of the text report")
+	parallel := flag.Int("parallel", 0, "analysis worker goroutines (0 = GOMAXPROCS); results are identical at any setting")
+	seq := flag.Bool("seq", false, "run the analysis pipeline on a single worker (same results, no concurrency)")
+	progress := flag.Bool("progress", false, "report simulation progress and per-stage analysis timings on stderr")
 	flag.Parse()
 
 	if *traceFile != "" {
@@ -55,12 +59,33 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Sched.Seed = *seed
-	rr, err := dctraffic.Simulate(cfg)
+	var runOpts []dctraffic.RunOption
+	if *progress {
+		runOpts = append(runOpts, dctraffic.WithProgress(func(p dctraffic.Progress) {
+			fmt.Fprintf(os.Stderr, "\rsim %3.0f%%  t=%v  events=%d  records=%d",
+				100*p.Frac(), p.SimTime, p.Events, p.Records)
+			if p.Frac() >= 1 {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	rr, err := dctraffic.Run(context.Background(), cfg, runOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
 		os.Exit(1)
 	}
-	rep := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
+	aopts := dctraffic.AnalyzeOptions{Parallelism: *parallel, Sequential: *seq}
+	var reg *dctraffic.Registry
+	if *progress {
+		reg = dctraffic.NewRegistry()
+		aopts.Observer = reg
+	}
+	rep := dctraffic.Analyze(rr, aopts)
+	if reg != nil {
+		for _, ph := range reg.Snapshot().Phases {
+			fmt.Fprintf(os.Stderr, "%-20s %8.3fs\n", ph.Name, ph.Seconds)
+		}
+	}
 	if *jsonOut {
 		data, err := rep.JSON()
 		if err != nil {

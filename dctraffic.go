@@ -135,8 +135,17 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // `dcsim -metrics` format).
 func ReadMetrics(r io.Reader) (*MetricsSnapshot, error) { return obs.ReadSnapshot(r) }
 
-// Analyze regenerates every figure of the paper from a run.
+// Analyze regenerates every figure of the paper from a run. The
+// analysis pipeline runs figure computations concurrently (see
+// AnalyzeOptions.Parallelism); results are bit-identical at any
+// parallelism.
 func Analyze(rr *RunResult, opts AnalyzeOptions) *Report { return core.Analyze(rr, opts) }
+
+// AnalyzeContext is Analyze with cancellation: it stops between pipeline
+// tasks when ctx is canceled and reports the cancellation as an error.
+func AnalyzeContext(ctx context.Context, rr *RunResult, opts AnalyzeOptions) (*Report, error) {
+	return core.AnalyzeContext(ctx, rr, opts)
+}
 
 // HeatASCII renders a TM as an ASCII heat map of loge(Bytes) — a terminal
 // rendition of Figure 2.

@@ -3,6 +3,7 @@ package congestion
 import (
 	"sort"
 
+	"dctraffic/internal/det"
 	"dctraffic/internal/netsim"
 	"dctraffic/internal/topology"
 	"dctraffic/internal/trace"
@@ -44,18 +45,17 @@ func (a Attribution) Ranked() []netsim.FlowKind {
 // table form: reduce-phase shuffles dominate, with extract reads and
 // evacuations as the unexpected contributors.
 func Attribute(records []trace.FlowRecord, eps []Episode, top *topology.Topology) Attribution {
-	byLink := make(map[topology.LinkID][]Episode)
-	for _, e := range eps {
-		byLink[e.Link] = append(byLink[e.Link], e)
-	}
-	for l := range byLink {
-		es := byLink[l]
-		sort.Slice(es, func(i, j int) bool { return es[i].Start < es[j].Start })
-	}
-	a := Attribution{
-		BytesOnCongested: make(map[netsim.FlowKind]float64),
-		Share:            make(map[netsim.FlowKind]float64),
-	}
+	return MergeAttribution([]Attribution{
+		AttributeIndexed(records, NewEpisodeIndex(eps), top),
+	})
+}
+
+// AttributeIndexed computes one shard's unnormalized attribution sums —
+// per-kind bytes crossing hot links — against a prebuilt episode index.
+// Share and TotalBytes are left zero; combine shards (even a single
+// one) with MergeAttribution to normalize.
+func AttributeIndexed(records []trace.FlowRecord, idx *EpisodeIndex, top *topology.Topology) Attribution {
+	a := Attribution{BytesOnCongested: make(map[netsim.FlowKind]float64)}
 	for _, r := range records {
 		dur := r.End - r.Start
 		if dur <= 0 || r.Bytes == 0 {
@@ -63,7 +63,7 @@ func Attribute(records []trace.FlowRecord, eps []Episode, top *topology.Topology
 		}
 		rate := float64(r.Bytes) / dur.Seconds()
 		for _, l := range top.PathK(r.Src, r.Dst, uint64(r.ID)) {
-			for _, e := range byLink[l] {
+			for _, e := range idx.Link(l) {
 				if e.Start >= r.End {
 					break
 				}
@@ -77,16 +77,35 @@ func Attribute(records []trace.FlowRecord, eps []Episode, top *topology.Topology
 				if hi <= lo {
 					continue
 				}
-				b := rate * (hi - lo).Seconds()
-				a.BytesOnCongested[r.Tag.Kind] += b
-				a.TotalBytes += b
+				a.BytesOnCongested[r.Tag.Kind] += rate * (hi - lo).Seconds()
 			}
 		}
 	}
-	if a.TotalBytes > 0 {
-		for k, v := range a.BytesOnCongested {
-			a.Share[k] = v / a.TotalBytes
+	return a
+}
+
+// MergeAttribution combines per-shard attribution sums in fixed order —
+// shard order outermost, ascending flow kind within a shard — then
+// normalizes. The reduction runs on one goroutine over a deterministic
+// order, so the merged result is a pure function of the shard
+// decomposition regardless of how the shards were computed.
+func MergeAttribution(parts []Attribution) Attribution {
+	out := Attribution{
+		BytesOnCongested: make(map[netsim.FlowKind]float64),
+		Share:            make(map[netsim.FlowKind]float64),
+	}
+	for _, p := range parts {
+		for _, k := range det.SortedKeys(p.BytesOnCongested) {
+			out.BytesOnCongested[k] += p.BytesOnCongested[k]
 		}
 	}
-	return a
+	for _, k := range det.SortedKeys(out.BytesOnCongested) {
+		out.TotalBytes += out.BytesOnCongested[k]
+	}
+	if out.TotalBytes > 0 {
+		for k, v := range out.BytesOnCongested {
+			out.Share[k] = v / out.TotalBytes
+		}
+	}
+	return out
 }

@@ -145,13 +145,16 @@ func DurationStats(eps []Episode) (cdf *stats.CDF, over10s int, longestSec float
 	return cdf, over10s, longestSec
 }
 
-// episodeIndex answers interval-overlap queries per link.
-type episodeIndex struct {
+// EpisodeIndex answers interval-overlap queries per link. Build once
+// with NewEpisodeIndex; it is immutable afterwards and safe for
+// concurrent readers, so shard-parallel record joins can share one.
+type EpisodeIndex struct {
 	byLink map[topology.LinkID][]Episode // sorted by start
 }
 
-func newEpisodeIndex(eps []Episode) *episodeIndex {
-	idx := &episodeIndex{byLink: make(map[topology.LinkID][]Episode)}
+// NewEpisodeIndex indexes a detected episode set by link.
+func NewEpisodeIndex(eps []Episode) *EpisodeIndex {
+	idx := &EpisodeIndex{byLink: make(map[topology.LinkID][]Episode)}
 	for _, e := range eps {
 		idx.byLink[e.Link] = append(idx.byLink[e.Link], e)
 	}
@@ -162,20 +165,23 @@ func newEpisodeIndex(eps []Episode) *episodeIndex {
 	return idx
 }
 
-// overlaps reports whether link l had an episode intersecting [from, to).
-func (idx *episodeIndex) overlaps(l topology.LinkID, from, to netsim.Time) bool {
+// Overlaps reports whether link l had an episode intersecting [from, to).
+func (idx *EpisodeIndex) Overlaps(l topology.LinkID, from, to netsim.Time) bool {
 	es := idx.byLink[l]
 	// First episode with End > from.
 	i := sort.Search(len(es), func(i int) bool { return es[i].End > from })
 	return i < len(es) && es[i].Start < to
 }
 
+// Link returns link l's episodes sorted by start time. Read-only.
+func (idx *EpisodeIndex) Link(l topology.LinkID) []Episode { return idx.byLink[l] }
+
 // FlowOverlapsCongestion reports whether any link of the flow's path had
 // an overlapping episode. The path is reconstructed from the record's
 // flow id, which doubles as the ECMP key on multipath fabrics.
-func FlowOverlapsCongestion(r trace.FlowRecord, idx *episodeIndex, top *topology.Topology) bool {
+func FlowOverlapsCongestion(r trace.FlowRecord, idx *EpisodeIndex, top *topology.Topology) bool {
 	for _, l := range top.PathK(r.Src, r.Dst, uint64(r.ID)) {
-		if idx.overlaps(l, r.Start, r.End) {
+		if idx.Overlaps(l, r.Start, r.End) {
 			return true
 		}
 	}
@@ -185,7 +191,14 @@ func FlowOverlapsCongestion(r trace.FlowRecord, idx *episodeIndex, top *topology
 // OverlapRateCDFs builds Figure 7: the rate distributions (Mbps) of flows
 // that overlapped congestion and of all flows.
 func OverlapRateCDFs(records []trace.FlowRecord, eps []Episode, top *topology.Topology) (overlap, all *stats.CDF) {
-	idx := newEpisodeIndex(eps)
+	return OverlapRateCDFsIndexed(records, NewEpisodeIndex(eps), top)
+}
+
+// OverlapRateCDFsIndexed is OverlapRateCDFs against a prebuilt episode
+// index, for callers that join several record shards with one index:
+// compute per-shard CDFs concurrently, then stats.CDF.Merge them in
+// shard order.
+func OverlapRateCDFsIndexed(records []trace.FlowRecord, idx *EpisodeIndex, top *topology.Topology) (overlap, all *stats.CDF) {
 	overlap, all = &stats.CDF{}, &stats.CDF{}
 	for _, r := range records {
 		rate := r.AvgRateBps()
@@ -218,7 +231,7 @@ type DayImpact struct {
 // Local reads (no flow) are counted in the clear class: they cannot have
 // crossed a hot link.
 func ReadFailureImpact(log *eventlog.Log, records []trace.FlowRecord, eps []Episode, top *topology.Topology, dayLen netsim.Time, numDays int) []DayImpact {
-	idx := newEpisodeIndex(eps)
+	idx := NewEpisodeIndex(eps)
 	byID := make(map[netsim.FlowID]trace.FlowRecord, len(records))
 	for _, r := range records {
 		byID[r.ID] = r
@@ -422,14 +435,7 @@ func AuditIncast(records []trace.FlowRecord, top *topology.Topology, eps []Episo
 		a.FracFlowsWithinRack = float64(rack) / float64(total)
 		a.FracFlowsWithinVLAN = float64(vlan) / float64(total)
 	}
-	series := ConcurrencySeries(eps, binSize, horizon)
-	if len(series) > 0 {
-		s := 0
-		for _, v := range series {
-			s += v
-		}
-		a.MeanConcurrentCongestedLinks = float64(s) / float64(len(series))
-	}
+	a.MeanConcurrentCongestedLinks = stats.MeanInt(ConcurrencySeries(eps, binSize, horizon))
 	a.MaxSyncFanIn, _ = SynchronizedFanIn(records, time.Millisecond)
 	return a
 }

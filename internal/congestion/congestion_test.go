@@ -117,7 +117,7 @@ func TestDurationStats(t *testing.T) {
 }
 
 func TestEpisodeIndexOverlap(t *testing.T) {
-	idx := newEpisodeIndex([]Episode{
+	idx := NewEpisodeIndex([]Episode{
 		{Link: 5, Start: 10 * time.Second, End: 20 * time.Second},
 		{Link: 5, Start: 40 * time.Second, End: 50 * time.Second},
 	})
@@ -133,11 +133,11 @@ func TestEpisodeIndexOverlap(t *testing.T) {
 		{50 * time.Second, 60 * time.Second, false},
 	}
 	for _, c := range cases {
-		if got := idx.overlaps(5, c.from, c.to); got != c.want {
+		if got := idx.Overlaps(5, c.from, c.to); got != c.want {
 			t.Errorf("overlaps(%v,%v) = %v, want %v", c.from, c.to, got, c.want)
 		}
 	}
-	if idx.overlaps(6, 0, time.Hour) {
+	if idx.Overlaps(6, 0, time.Hour) {
 		t.Fatal("unknown link should not overlap")
 	}
 }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchSim memoizes one shortened simulation shared by the analyze
+// benchmarks, so iterations time only the analysis pipeline.
+var (
+	benchSimOnce sync.Once
+	benchSimRR   *RunResult
+	benchSimErr  error
+)
+
+func benchSim(b *testing.B) *RunResult {
+	b.Helper()
+	benchSimOnce.Do(func() {
+		cfg := SmallRun()
+		cfg.Duration = 30 * time.Minute
+		cfg.DrainTime = 10 * time.Minute
+		benchSimRR, benchSimErr = Simulate(cfg)
+	})
+	if benchSimErr != nil {
+		b.Fatal(benchSimErr)
+	}
+	return benchSimRR
+}
+
+// BenchmarkAnalyzeSmall times the pipeline on a single worker — the
+// sequential baseline of BENCH_analyze.json.
+func BenchmarkAnalyzeSmall(b *testing.B) {
+	rr := benchSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(rr, AnalyzeOptions{Sequential: true})
+	}
+}
+
+// BenchmarkAnalyzeParallel times the pipeline at the default
+// parallelism (GOMAXPROCS workers). Output is bit-identical to the
+// sequential run; only the wall clock should move.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	rr := benchSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(rr, AnalyzeOptions{})
+	}
+}

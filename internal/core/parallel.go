@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// The analysis pipeline's determinism contract, in three rules:
+//
+//  1. Decomposition is data-driven. Shard counts and window boundaries
+//     are functions of the input size only — never of the worker count —
+//     so the same record set always produces the same task graph.
+//  2. Tasks own their output slots. Every task writes results into a
+//     pre-sized slot indexed by its shard/window number; no two tasks
+//     share a mutable location, so scheduling order cannot race or
+//     reorder anything.
+//  3. Merges are single-goroutine and fixed-order. After a task group
+//     completes, the coordinator reduces the slots in slot order. All
+//     float accumulation happens there (or inside one task over the
+//     canonical record order), never across goroutines.
+//
+// Under these rules the worker count only decides how many tasks run at
+// once — Parallelism: 1 executes the identical sharded algorithm on one
+// goroutine — so Analyze output is bit-identical at any parallelism.
+
+// task is one independent unit of analysis work. fn must touch only the
+// task's own result slot plus immutable shared state (the record view,
+// topology, link stats, episode index).
+type task struct {
+	name string
+	fn   func()
+}
+
+// runTasks executes tasks on up to workers goroutines and waits for all
+// of them. Tasks are claimed by atomic counter, so completion order is
+// nondeterministic — which is fine, because merging happens afterwards
+// on the caller's goroutine (rule 3 above). A task panic is re-raised
+// on the caller once the group drains. Cancellation stops workers from
+// claiming further tasks and reports ctx.Err().
+func runTasks(ctx context.Context, workers int, tasks []task) error {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			t.fn()
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, p)
+				}
+			}()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tasks[i].fn()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+	return ctx.Err()
+}
+
+// shardRanges splits n items into [lo, hi) ranges of roughly target
+// items each, capped at maxShards ranges. The shard count depends only
+// on n and target (rule 1), so per-shard partial results and their
+// fixed-order merge are reproducible at any worker count.
+func shardRanges(n, target, maxShards int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if target <= 0 {
+		target = 1
+	}
+	k := (n + target - 1) / target
+	if k < 1 {
+		k = 1
+	}
+	if k > maxShards {
+		k = maxShards
+	}
+	out := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = [2]int{i * n / k, (i + 1) * n / k}
+	}
+	return out
+}
+
+// recordShardTarget sizes record shards (Fig 7 join, attribution,
+// Fig 9 CDFs): big enough that per-shard overhead is noise, small
+// enough that a paper-scale run (~2M records) fans out well.
+const recordShardTarget = 1 << 17
+
+// maxRecordShards bounds the fan-out (and the slot arrays).
+const maxRecordShards = 32

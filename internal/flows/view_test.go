@@ -1,0 +1,78 @@
+package flows
+
+import (
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+	"dctraffic/internal/trace"
+)
+
+// viewFixture builds a random record set plus its indexed view, with
+// records pre-sorted into the canonical (Start, ID) order so the
+// slice-based and view-based functions see the same iteration order.
+func viewFixture(t *testing.T, n int) ([]trace.FlowRecord, *trace.RecordView, *topology.Topology) {
+	t.Helper()
+	top, err := topology.New(topology.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3).Fork("flows_view_test")
+	horizon := netsim.Time(10 * time.Minute)
+	recs := make([]trace.FlowRecord, n)
+	for i := range recs {
+		start := netsim.Time(rng.Float64() * float64(horizon))
+		recs[i] = trace.FlowRecord{
+			ID:    netsim.FlowID(i),
+			Src:   topology.ServerID(rng.IntN(top.NumHosts())),
+			Dst:   topology.ServerID(rng.IntN(top.NumHosts())),
+			Start: start,
+			End:   start + netsim.Time(rng.Float64()*float64(30*time.Second)),
+			Bytes: int64(1 + rng.IntN(1<<20)),
+		}
+	}
+	v := trace.NewRecordView(recs, top)
+	return v.Records(), v, top
+}
+
+// equalFloats demands bit-identity, not tolerance: the view-based
+// functions are drop-in replacements inside a digest-stable pipeline.
+func equalFloats(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: value %d is %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestClusterInterArrivalsViewMatches(t *testing.T) {
+	recs, v, _ := viewFixture(t, 4000)
+	equalFloats(t, "cluster", ClusterInterArrivalsView(v), ClusterInterArrivals(recs))
+}
+
+func TestServerInterArrivalsViewMatches(t *testing.T) {
+	recs, v, top := viewFixture(t, 4000)
+	equalFloats(t, "server", ServerInterArrivalsView(v), ServerInterArrivals(recs, top))
+}
+
+func TestTorInterArrivalsViewMatches(t *testing.T) {
+	recs, v, top := viewFixture(t, 4000)
+	equalFloats(t, "tor", TorInterArrivalsView(v), TorInterArrivals(recs, top))
+}
+
+func TestArrivalRatePerSecViewMatches(t *testing.T) {
+	recs, v, _ := viewFixture(t, 4000)
+	for _, horizon := range []netsim.Time{0, time.Second, time.Minute, 10 * time.Minute, time.Hour} {
+		got := ArrivalRatePerSecView(v, horizon)
+		want := ArrivalRatePerSec(recs, horizon)
+		if got != want {
+			t.Fatalf("horizon %v: view rate %v, want %v", horizon, got, want)
+		}
+	}
+}

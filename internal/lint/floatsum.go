@@ -64,10 +64,11 @@ func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
 		if target == nil || !isFloat(pass.Info.TypeOf(target)) {
 			return true
 		}
-		// Indexed targets (partial[i] += v) are the per-goroutine-slot
-		// fix this analyzer recommends: each goroutine owns its slot and
-		// the slots are combined in a fixed order after the join.
-		if _, indexed := ast.Unparen(target).(*ast.IndexExpr); indexed {
+		// Indexed targets (partial[i] += v, slots[i].sum += v) are the
+		// per-goroutine-slot fix this analyzer recommends: each goroutine
+		// owns its slot and the slots are combined in a fixed order after
+		// the join. Peel field selectors so slot structs count too.
+		if hasIndexedBase(target) {
 			return true
 		}
 		obj := baseObject(pass.Info, target)
@@ -77,6 +78,25 @@ func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
 		pass.Reportf(n.Pos(), "floating-point accumulation into captured %s inside a goroutine: reduction order follows the scheduler; keep per-goroutine partials and combine them in a fixed order", obj.Name())
 		return true
 	})
+}
+
+// hasIndexedBase reports whether e is an index expression, possibly
+// behind field selectors and parens: partial[i], slots[i].sum,
+// (slots[i]).stats.total. Dereferences (*p)[i] do not count — the
+// pointer may alias a single shared slot.
+func hasIndexedBase(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
 }
 
 // checkChannelReduce reports float accumulation driven by receives from

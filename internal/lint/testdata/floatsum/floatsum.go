@@ -65,6 +65,63 @@ func partialSumsOK(parts [][]float64) float64 {
 	return total
 }
 
+// shardStats mirrors the analysis pipeline's per-shard slot structs:
+// each worker owns one element and writes only through its own index.
+type shardStats struct {
+	sum   float64
+	count int
+}
+
+func shardSlotsOK(parts [][]float64) float64 {
+	slots := make([]shardStats, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range p {
+				slots[i].sum += v // owned slot behind a field selector: not flagged
+				slots[i].count++
+			}
+		}()
+	}
+	wg.Wait()
+	// Single-goroutine merge in fixed shard order: bit-identical at any
+	// worker count.
+	total := 0.0
+	for _, s := range slots {
+		total += s.sum
+	}
+	return total
+}
+
+type runningTotals struct {
+	bytes float64
+}
+
+func mutexMergeNotOK(parts [][]float64) float64 {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		res runningTotals
+	)
+	for _, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := 0.0
+			for _, v := range p {
+				sub += v
+			}
+			mu.Lock()
+			res.bytes += sub // want "floating-point accumulation into captured res"
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res.bytes
+}
+
 func goroutineLocalOK(ps []float64, out chan<- float64) {
 	go func() {
 		sum := 0.0 // declared inside the goroutine: not shared

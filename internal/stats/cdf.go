@@ -19,6 +19,7 @@ type CDF struct {
 // NewCDF builds a CDF from unweighted samples. The input is copied.
 func NewCDF(samples []float64) *CDF {
 	c := &CDF{}
+	c.Grow(len(samples))
 	for _, x := range samples {
 		c.Add(x)
 	}
@@ -38,6 +39,35 @@ func (c *CDF) AddWeighted(x, w float64) {
 	c.xs = append(c.xs, x)
 	c.ws = append(c.ws, w)
 	c.totalW += w
+	c.sorted = false
+}
+
+// Grow pre-allocates capacity for n additional samples, saving the
+// append-regrowth copies when the caller knows the sample count up
+// front (e.g. one CDF sample per record in a shard).
+func (c *CDF) Grow(n int) {
+	if n <= 0 || len(c.xs)+n <= cap(c.xs) {
+		return
+	}
+	xs := make([]float64, len(c.xs), len(c.xs)+n)
+	ws := make([]float64, len(c.ws), len(c.ws)+n)
+	copy(xs, c.xs)
+	copy(ws, c.ws)
+	c.xs, c.ws = xs, ws
+}
+
+// Merge appends every sample of o, in o's insertion order. It is the
+// fixed-order reduction step of shard-and-merge CDF construction: build
+// one CDF per shard, then Merge them in shard order on a single
+// goroutine, and the combined CDF is a pure function of the shard
+// decomposition — independent of how the shards were scheduled.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	c.xs = append(c.xs, o.xs...)
+	c.ws = append(c.ws, o.ws...)
+	c.totalW += o.totalW
 	c.sorted = false
 }
 

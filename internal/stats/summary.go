@@ -17,6 +17,20 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// MeanInt returns the arithmetic mean of an integer series, or 0 for an
+// empty slice. The sum is exact (integer), so the result does not depend
+// on accumulation order.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
 // Variance returns the population variance of xs, or 0 for fewer than two
 // samples.
 func Variance(xs []float64) float64 {

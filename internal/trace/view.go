@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"sort"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/topology"
+)
+
+// RecordView is a time-indexed, start-sorted view over a flow-record
+// set, built once per analysis pass and shared (read-only) by every
+// figure computation. It answers the two access patterns the analyses
+// repeat — "all records overlapping window [from, to)" and "all flow
+// starts touching server s / rack r" — in O(log n + |answer|) instead
+// of a full scan per call.
+//
+// The view is immutable after construction and safe for concurrent
+// readers. Its record order (ascending Start, ties by ID) is the
+// canonical iteration order of the analysis pipeline: every float
+// accumulation over records walks this order, so results are a pure
+// function of the record set, independent of collector append order
+// and of how much parallelism the pipeline uses.
+type RecordView struct {
+	top  *topology.Topology
+	recs []FlowRecord // sorted by (Start, ID)
+
+	// maxEnd[i] is the maximum End over recs[0..i]. It is monotone
+	// nondecreasing, so a binary search bounds how far before a window
+	// a still-overlapping record can start.
+	maxEnd []netsim.Time
+
+	// Posting lists: flow-start times touching each cluster server /
+	// rack (as source or destination, deduplicated), in start order.
+	// External hosts are not instrumented (as in the paper) and have no
+	// server list; flows touching them still appear under the rack of
+	// their cluster endpoint.
+	serverStarts [][]netsim.Time
+	rackStarts   [][]netsim.Time
+}
+
+// NewRecordView indexes records against the given topology. The input
+// slice is not modified; the view sorts a copy.
+func NewRecordView(records []FlowRecord, top *topology.Topology) *RecordView {
+	v := &RecordView{
+		top:          top,
+		recs:         append([]FlowRecord(nil), records...),
+		serverStarts: make([][]netsim.Time, top.NumServers()),
+		rackStarts:   make([][]netsim.Time, top.NumRacks()),
+	}
+	sort.Slice(v.recs, func(i, j int) bool {
+		if v.recs[i].Start != v.recs[j].Start {
+			return v.recs[i].Start < v.recs[j].Start
+		}
+		return v.recs[i].ID < v.recs[j].ID
+	})
+	v.maxEnd = make([]netsim.Time, len(v.recs))
+	maxEnd := netsim.Time(0)
+	for i, r := range v.recs {
+		if i == 0 || r.End > maxEnd {
+			maxEnd = r.End
+		}
+		v.maxEnd[i] = maxEnd
+		if !top.IsExternal(r.Src) {
+			v.serverStarts[r.Src] = append(v.serverStarts[r.Src], r.Start)
+		}
+		if r.Dst != r.Src && !top.IsExternal(r.Dst) {
+			v.serverStarts[r.Dst] = append(v.serverStarts[r.Dst], r.Start)
+		}
+		rs, rd := top.Rack(r.Src), top.Rack(r.Dst)
+		if rs >= 0 {
+			v.rackStarts[rs] = append(v.rackStarts[rs], r.Start)
+		}
+		if rd >= 0 && rd != rs {
+			v.rackStarts[rd] = append(v.rackStarts[rd], r.Start)
+		}
+	}
+	return v
+}
+
+// Len reports the number of records in the view.
+func (v *RecordView) Len() int { return len(v.recs) }
+
+// Topology returns the topology the view was indexed against.
+func (v *RecordView) Topology() *topology.Topology { return v.top }
+
+// Records returns the start-sorted record slice. Callers must treat it
+// as read-only.
+func (v *RecordView) Records() []FlowRecord { return v.recs }
+
+// Overlapping visits, in start order, every record whose lifetime
+// intersects [from, to): records with Start < to and End > from, plus
+// instantaneous records (End == Start) with Start in [from, to). These
+// are exactly the records a windowed aggregation (tm.ServerMatrix-style
+// spreading) draws bytes from, so slicing a window through the view
+// yields bit-identical sums to filtering the full set.
+func (v *RecordView) Overlapping(from, to netsim.Time, fn func(r FlowRecord)) {
+	lo, hi := v.overlapRange(from, to)
+	for i := lo; i < hi; i++ {
+		r := v.recs[i]
+		if r.End > from || (r.End == r.Start && r.Start >= from) {
+			fn(r)
+		}
+	}
+}
+
+// overlapRange returns the candidate index range [lo, hi) for records
+// overlapping [from, to): hi is the first record starting at or after
+// to; lo is bounded below by both the first record that could still be
+// running at from (via the monotone maxEnd index) and the first record
+// starting at or after from (which covers instantaneous records).
+func (v *RecordView) overlapRange(from, to netsim.Time) (lo, hi int) {
+	hi = sort.Search(len(v.recs), func(i int) bool { return v.recs[i].Start >= to })
+	loEnd := sort.Search(hi, func(i int) bool { return v.maxEnd[i] > from })
+	loStart := sort.Search(hi, func(i int) bool { return v.recs[i].Start >= from })
+	lo = loEnd
+	if loStart < lo {
+		lo = loStart
+	}
+	return lo, hi
+}
+
+// StartedBefore reports how many records have Start < t — the numerator
+// of arrival-rate computations — in O(log n).
+func (v *RecordView) StartedBefore(t netsim.Time) int {
+	return sort.Search(len(v.recs), func(i int) bool { return v.recs[i].Start >= t })
+}
+
+// NumServers reports the number of cluster servers with a posting list.
+func (v *RecordView) NumServers() int { return len(v.serverStarts) }
+
+// ServerStarts returns the start times of flows touching cluster server
+// s (as source or destination), ascending. Read-only.
+func (v *RecordView) ServerStarts(s topology.ServerID) []netsim.Time {
+	return v.serverStarts[s]
+}
+
+// NumRacks reports the number of racks with a posting list.
+func (v *RecordView) NumRacks() int { return len(v.rackStarts) }
+
+// RackStarts returns the start times of flows with at least one
+// endpoint in rack r, ascending. Read-only.
+func (v *RecordView) RackStarts(r topology.RackID) []netsim.Time {
+	return v.rackStarts[r]
+}

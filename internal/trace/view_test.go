@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// randomRecords builds a record set with the shapes that stress the
+// index: long flows spanning many windows, instantaneous records, flows
+// touching external hosts, and duplicate start times.
+func randomRecords(t *testing.T, top *topology.Topology, n int, horizon netsim.Time) []FlowRecord {
+	t.Helper()
+	rng := stats.NewRNG(42).Fork("view_test")
+	hosts := top.NumHosts()
+	out := make([]FlowRecord, n)
+	for i := range out {
+		start := netsim.Time(rng.Float64() * float64(horizon))
+		var dur netsim.Time
+		switch rng.IntN(4) {
+		case 0: // instantaneous
+		case 1: // long-lived
+			dur = netsim.Time(rng.Float64() * float64(horizon) / 4)
+		default: // short
+			dur = netsim.Time(rng.Float64() * float64(10*time.Second))
+		}
+		out[i] = FlowRecord{
+			ID:    netsim.FlowID(i),
+			Src:   topology.ServerID(rng.IntN(hosts)),
+			Dst:   topology.ServerID(rng.IntN(hosts)),
+			Start: start,
+			End:   start + dur,
+			Bytes: int64(rng.IntN(1 << 20)),
+		}
+	}
+	return out
+}
+
+func testTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	top, err := topology.New(topology.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// The overlap query must agree with the naive full-scan filter — the
+// exact predicate windowed aggregations (tm spreading) draw bytes from —
+// for every window, and visit records in view order.
+func TestViewOverlappingMatchesNaiveFilter(t *testing.T) {
+	top := testTopology(t)
+	horizon := netsim.Time(10 * time.Minute)
+	recs := randomRecords(t, top, 5000, horizon)
+	v := NewRecordView(recs, top)
+
+	windows := [][2]netsim.Time{
+		{0, horizon},
+		{0, time.Second},
+		{horizon / 2, horizon/2 + 10*time.Second},
+		{horizon - time.Second, horizon},
+		{horizon, horizon + time.Minute}, // beyond the data
+		{horizon / 3, horizon / 3},       // empty window
+	}
+	rng := stats.NewRNG(7).Fork("windows")
+	for i := 0; i < 50; i++ {
+		from := netsim.Time(rng.Float64() * float64(horizon))
+		windows = append(windows, [2]netsim.Time{from, from + netsim.Time(rng.Float64()*float64(time.Minute))})
+	}
+
+	for _, w := range windows {
+		from, to := w[0], w[1]
+		var naive []netsim.FlowID
+		for _, r := range v.Records() { // view order is the canonical order
+			if r.Start < to && (r.End > from || (r.End == r.Start && r.Start >= from)) {
+				naive = append(naive, r.ID)
+			}
+		}
+		var got []netsim.FlowID
+		v.Overlapping(from, to, func(r FlowRecord) { got = append(got, r.ID) })
+		if len(got) != len(naive) {
+			t.Fatalf("window [%v,%v): %d visited, want %d", from, to, len(got), len(naive))
+		}
+		for i := range got {
+			if got[i] != naive[i] {
+				t.Fatalf("window [%v,%v): record %d is %v, want %v (order or membership mismatch)",
+					from, to, i, got[i], naive[i])
+			}
+		}
+	}
+}
+
+func TestViewRecordsSorted(t *testing.T) {
+	top := testTopology(t)
+	recs := randomRecords(t, top, 2000, netsim.Time(5*time.Minute))
+	v := NewRecordView(recs, top)
+	if v.Len() != len(recs) {
+		t.Fatalf("view has %d records, want %d", v.Len(), len(recs))
+	}
+	prev := v.Records()[0]
+	for _, r := range v.Records()[1:] {
+		if r.Start < prev.Start || (r.Start == prev.Start && r.ID <= prev.ID) {
+			t.Fatalf("records not sorted by (Start, ID): %v after %v", r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestViewStartedBefore(t *testing.T) {
+	top := testTopology(t)
+	horizon := netsim.Time(5 * time.Minute)
+	recs := randomRecords(t, top, 2000, horizon)
+	v := NewRecordView(recs, top)
+	for _, cut := range []netsim.Time{0, time.Second, horizon / 2, horizon, horizon * 2} {
+		want := 0
+		for _, r := range recs {
+			if r.Start < cut {
+				want++
+			}
+		}
+		if got := v.StartedBefore(cut); got != want {
+			t.Fatalf("StartedBefore(%v) = %d, want %d", cut, got, want)
+		}
+	}
+}
+
+// Posting lists must carry exactly the start times the map-based
+// inter-arrival functions collect, already sorted.
+func TestViewPostingLists(t *testing.T) {
+	top := testTopology(t)
+	recs := randomRecords(t, top, 3000, netsim.Time(5*time.Minute))
+	v := NewRecordView(recs, top)
+
+	wantServer := make(map[topology.ServerID][]netsim.Time)
+	wantRack := make(map[topology.RackID][]netsim.Time)
+	for _, r := range v.Records() {
+		if !top.IsExternal(r.Src) {
+			wantServer[r.Src] = append(wantServer[r.Src], r.Start)
+		}
+		if r.Dst != r.Src && !top.IsExternal(r.Dst) {
+			wantServer[r.Dst] = append(wantServer[r.Dst], r.Start)
+		}
+		rs, rd := top.Rack(r.Src), top.Rack(r.Dst)
+		if rs >= 0 {
+			wantRack[rs] = append(wantRack[rs], r.Start)
+		}
+		if rd >= 0 && rd != rs {
+			wantRack[rd] = append(wantRack[rd], r.Start)
+		}
+	}
+	if v.NumServers() != top.NumServers() || v.NumRacks() != top.NumRacks() {
+		t.Fatalf("posting list sizes %d/%d, want %d/%d",
+			v.NumServers(), v.NumRacks(), top.NumServers(), top.NumRacks())
+	}
+	for s := 0; s < v.NumServers(); s++ {
+		got := v.ServerStarts(topology.ServerID(s))
+		want := wantServer[topology.ServerID(s)]
+		if len(got) != len(want) {
+			t.Fatalf("server %d: %d starts, want %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("server %d start %d: %v, want %v", s, i, got[i], want[i])
+			}
+			if i > 0 && got[i] < got[i-1] {
+				t.Fatalf("server %d starts not sorted", s)
+			}
+		}
+	}
+	for rk := 0; rk < v.NumRacks(); rk++ {
+		got := v.RackStarts(topology.RackID(rk))
+		want := wantRack[topology.RackID(rk)]
+		if len(got) != len(want) {
+			t.Fatalf("rack %d: %d starts, want %d", rk, len(got), len(want))
+		}
+	}
+}
+
+// The view must not alias the caller's slice: mutating the input after
+// construction cannot corrupt the index.
+func TestViewCopiesInput(t *testing.T) {
+	top := testTopology(t)
+	recs := randomRecords(t, top, 100, netsim.Time(time.Minute))
+	v := NewRecordView(recs, top)
+	before := v.Records()[0]
+	for i := range recs {
+		recs[i].Bytes = -1
+	}
+	if v.Records()[0] != before {
+		t.Fatal("view aliases the input slice")
+	}
+}
