@@ -48,12 +48,15 @@ smoke-metrics:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Machine-readable snapshots of the netsim allocator and analysis
-# pipeline benchmarks, tracked in-repo so future PRs can see the perf
-# trajectory.
+# Machine-readable snapshots of the netsim allocator, analysis
+# pipeline, and tomography solver benchmarks, tracked in-repo so future
+# PRs can see the perf trajectory. The tomo pair is the warm-start
+# headline: one cold paper-scale sparsity-max solve vs the steady-state
+# warm window.
 bench-snapshot:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/netsim | $(GO) run ./cmd/benchjson > BENCH_netsim.json
 	$(GO) test -bench 'BenchmarkAnalyze' -benchmem -run '^$$' ./internal/core | $(GO) run ./cmd/benchjson > BENCH_analyze.json
+	$(GO) test -bench 'BenchmarkSparsityMax' -benchmem -run '^$$' -timeout 30m ./internal/tomo | $(GO) run ./cmd/benchjson > BENCH_tomo.json
 
 # Regenerate every figure's data series into ./figures (laptop scale, 2 h).
 figures:

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dctraffic"
@@ -40,7 +41,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the machine-readable headline digest instead of the text report")
 	parallel := flag.Int("parallel", 0, "analysis worker goroutines (0 = GOMAXPROCS); results are identical at any setting")
 	seq := flag.Bool("seq", false, "run the analysis pipeline on a single worker (same results, no concurrency)")
-	progress := flag.Bool("progress", false, "report simulation progress and per-stage analysis timings on stderr")
+	progress := flag.Bool("progress", false, "report simulation progress, per-stage analysis timings and tomography solver effort on stderr")
 	flag.Parse()
 
 	if *traceFile != "" {
@@ -82,8 +83,25 @@ func main() {
 	}
 	rep := dctraffic.Analyze(rr, aopts)
 	if reg != nil {
-		for _, ph := range reg.Snapshot().Phases {
+		snap := reg.Snapshot()
+		for _, ph := range snap.Phases {
 			fmt.Fprintf(os.Stderr, "%-20s %8.3fs\n", ph.Name, ph.Seconds)
+		}
+		// Tomography solver effort: how hard the sparsity-max simplex
+		// worked, and how often window-to-window warm starts paid off.
+		for _, s := range snap.Series {
+			if !strings.HasPrefix(s.Name, "tomo.") {
+				continue
+			}
+			if s.Kind == "histogram" {
+				mean := 0.0
+				if s.Count > 0 {
+					mean = s.Sum / float64(s.Count)
+				}
+				fmt.Fprintf(os.Stderr, "%-32s n=%-4d sum=%-8.0f mean=%.1f\n", s.Name, s.Count, s.Sum, mean)
+			} else {
+				fmt.Fprintf(os.Stderr, "%-32s %.0f\n", s.Name, s.Value)
+			}
 		}
 	}
 	if *jsonOut {

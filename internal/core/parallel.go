@@ -111,3 +111,13 @@ const recordShardTarget = 1 << 17
 
 // maxRecordShards bounds the fan-out (and the slot arrays).
 const maxRecordShards = 32
+
+// tomoChainTarget sizes tomography chains: each chain walks a
+// contiguous run of TM windows through one warm-started estimator, so
+// longer chains amortize more cold simplex solves while more chains
+// expose more parallelism. Eight windows per chain fans a paper-scale
+// day (144 windows) out 18 ways with only one cold solve per chain.
+const tomoChainTarget = 8
+
+// maxTomoChains bounds the tomography fan-out (and estimator count).
+const maxTomoChains = 32

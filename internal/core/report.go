@@ -67,6 +67,13 @@ type AnalyzeOptions struct {
 	TomoMaxTMs int
 	// JobPriorAlpha scales the §5.3 multiplier.
 	JobPriorAlpha float64
+	// TomoCold disables warm-starting the sparsity-max simplex across
+	// consecutive tomography windows. Warm starts (the default) return a
+	// different — equally valid — basic feasible solution for some
+	// windows, which shifts the sparsity-max figure series; TomoCold
+	// reproduces the pre-warm-start digests exactly. Tomogravity series
+	// are bit-identical either way.
+	TomoCold bool
 }
 
 // ApplyDefaults returns o with zero fields replaced by defaults scaled to
@@ -438,64 +445,80 @@ func AnalyzeContext(ctx context.Context, rr *RunResult, opts AnalyzeOptions) (*R
 		}},
 	)
 
-	// Figures 12–14: tomography, one task per ToR-TM window. The solves
-	// share the immutable problem (its solvers copy state per call); each
-	// window writes its own slot and the merge below replays the
-	// sequential loop in window order, including its skip-on-error
-	// semantics.
+	// Figures 12–14: tomography, one task per chain of consecutive ToR-TM
+	// windows. Each chain owns a tomo.Estimator — a reusable solver and
+	// WLS workspace — so consecutive windows warm-start the sparsity-max
+	// simplex from the previous basis (unless opts.TomoCold) and the
+	// steady-state window estimate allocates nothing. The immutable
+	// problem is shared; each window writes its own slot and the merge
+	// below replays the sequential loop in window order, including its
+	// skip-on-error semantics.
 	type tomoSlot struct {
 		ok                               bool
 		eTG, eTJ, eTR, eSM               float64
 		fracTrue, fracTG, fracTJ, fracSM float64
 		smNonZeros, smHits               float64
+		pivots, refactors                int
+		warm, fellBack                   bool
 	}
 	tomoWindows := int((duration + opts.TomoBin - 1) / opts.TomoBin)
 	if tomoWindows > opts.TomoMaxTMs {
 		tomoWindows = opts.TomoMaxTMs
 	}
 	tomoSlots := make([]tomoSlot, tomoWindows)
-	for i := 0; i < tomoWindows; i++ {
-		i := i
-		tasks = append(tasks, task{fmt.Sprintf("tomo.w%d", i), func() {
-			from, to := tm.SeriesBinWindow(i, opts.TomoBin, duration)
-			truth := tm.TorMatrixView(view, top, from, to)
-			if truth.Total() <= 0 {
-				return
-			}
-			b := problem.LinkCounts(truth)
-			xTrue := problem.VecFromTM(truth)
+	for j, sh := range shardRanges(tomoWindows, tomoChainTarget, maxTomoChains) {
+		j, sh := j, sh
+		tasks = append(tasks, task{fmt.Sprintf("tomo.c%d", j), func() {
+			est := problem.NewEstimator(tomo.EstimatorOptions{Cold: opts.TomoCold})
+			xTrue := make([]float64, problem.NumPairs())
+			var b, tg, tj, tr, sm []float64
+			for i := sh[0]; i < sh[1]; i++ {
+				from, to := tm.SeriesBinWindow(i, opts.TomoBin, duration)
+				truth := tm.TorMatrixView(view, top, from, to)
+				if truth.Total() <= 0 {
+					continue
+				}
+				b = est.LinkCountsInto(b, truth)
+				problem.VecFromTMInto(xTrue, truth)
 
-			tg, err := problem.Tomogravity(b)
-			if err != nil {
-				return
-			}
-			mult := tomo.JobMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
-			tj, err := problem.TomogravityWithMultiplier(b, mult)
-			if err != nil {
-				return
-			}
-			roleMult := tomo.RoleAwareMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
-			tr, err := problem.TomogravityWithMultiplier(b, roleMult)
-			if err != nil {
-				return
-			}
-			sm, err := problem.SparsityMax(b)
-			if err != nil {
-				return
-			}
+				var err error
+				tg, err = est.TomogravityInto(tg, b)
+				if err != nil {
+					continue
+				}
+				mult := tomo.JobMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
+				tj, err = est.TomogravityWithMultiplierInto(tj, b, mult)
+				if err != nil {
+					continue
+				}
+				roleMult := tomo.RoleAwareMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
+				tr, err = est.TomogravityWithMultiplierInto(tr, b, roleMult)
+				if err != nil {
+					continue
+				}
+				sm, err = est.SparsityMaxInto(sm, b)
+				if err != nil {
+					continue
+				}
+				st := est.SolveStats()
 
-			s := &tomoSlots[i]
-			s.ok = true
-			s.eTG = tomo.RMSRE(xTrue, tg, 0.75)
-			s.eTJ = tomo.RMSRE(xTrue, tj, 0.75)
-			s.eTR = tomo.RMSRE(xTrue, tr, 0.75)
-			s.eSM = tomo.RMSRE(xTrue, sm, 0.75)
-			_, s.fracTrue = tomo.SparsityOfVec(xTrue, 0.75)
-			_, s.fracTG = tomo.SparsityOfVec(tg, 0.75)
-			_, s.fracTJ = tomo.SparsityOfVec(tj, 0.75)
-			_, s.fracSM = tomo.SparsityOfVec(sm, 0.75)
-			s.smNonZeros = float64(tomo.NonZeroCount(sm))
-			s.smHits = float64(tomo.HeavyHitterOverlap(xTrue, sm, 97))
+				s := &tomoSlots[i]
+				s.ok = true
+				s.eTG = tomo.RMSRE(xTrue, tg, 0.75)
+				s.eTJ = tomo.RMSRE(xTrue, tj, 0.75)
+				s.eTR = tomo.RMSRE(xTrue, tr, 0.75)
+				s.eSM = tomo.RMSRE(xTrue, sm, 0.75)
+				_, s.fracTrue = tomo.SparsityOfVec(xTrue, 0.75)
+				_, s.fracTG = tomo.SparsityOfVec(tg, 0.75)
+				_, s.fracTJ = tomo.SparsityOfVec(tj, 0.75)
+				_, s.fracSM = tomo.SparsityOfVec(sm, 0.75)
+				s.smNonZeros = float64(tomo.NonZeroCount(sm))
+				s.smHits = float64(tomo.HeavyHitterOverlap(xTrue, sm, 97))
+				s.pivots = st.Pivots
+				s.refactors = st.Refactorizations
+				s.warm = st.Warm
+				s.fellBack = st.FellBack
+			}
 		}})
 	}
 
@@ -593,10 +616,29 @@ func AnalyzeContext(ctx context.Context, rr *RunResult, opts AnalyzeOptions) (*R
 	truthCDF, tgCDF, jobsCDF, smCDF := &stats.CDF{}, &stats.CDF{}, &stats.CDF{}, &stats.CDF{}
 	var smNonZeros, smHits []float64
 	var xs, ys []float64
+	// Solver-effort series are fed here, on the coordinating goroutine,
+	// because the registry is not goroutine-safe (see the determinism
+	// contract in parallel.go). Slot order makes the histograms
+	// deterministic too.
+	pivotHist := reg.Histogram("tomo.pivots_per_window", obs.Pow2Bounds(1, 16))
+	refacHist := reg.Histogram("tomo.refactorizations_per_window", obs.Pow2Bounds(1, 10))
+	warmWindows := reg.Counter("tomo.windows_warm")
+	coldWindows := reg.Counter("tomo.windows_cold")
+	fallbackWindows := reg.Counter("tomo.windows_fallback")
 	for i := range tomoSlots {
 		s := &tomoSlots[i]
 		if !s.ok {
 			continue
+		}
+		pivotHist.Observe(float64(s.pivots))
+		refacHist.Observe(float64(s.refactors))
+		if s.warm {
+			warmWindows.Inc()
+		} else {
+			coldWindows.Inc()
+		}
+		if s.fellBack {
+			fallbackWindows.Inc()
 		}
 		f12.NumTMs++
 		f12.Tomogravity = append(f12.Tomogravity, s.eTG)

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dctraffic/internal/obs"
+)
+
+// bitsEqualSeries fails unless two figure series match bit for bit.
+func bitsEqualSeries(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s[%d]: %v vs %v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestAnalyzeTomoColdVsWarm pins the warm-start digest policy: warm
+// starts may only move the sparsity-max series. Every tomogravity-family
+// series must stay bit-identical to a TomoCold run (which in turn
+// reproduces the pre-warm-start Problem methods bit for bit — see the
+// tomo package's Estimator tests), and both runs must analyze the same
+// set of windows.
+func TestAnalyzeTomoColdVsWarm(t *testing.T) {
+	rr, warm := smallRun(t)
+	cold := Analyze(rr, AnalyzeOptions{TomoCold: true})
+
+	if warm.Fig12.NumTMs == 0 {
+		t.Fatal("no tomography windows analyzed")
+	}
+	if warm.Fig12.NumTMs != cold.Fig12.NumTMs {
+		t.Fatalf("window counts differ: warm %d vs cold %d", warm.Fig12.NumTMs, cold.Fig12.NumTMs)
+	}
+	bitsEqualSeries(t, "Fig12.Tomogravity", cold.Fig12.Tomogravity, warm.Fig12.Tomogravity)
+	bitsEqualSeries(t, "Fig12.TomogravityJobs", cold.Fig12.TomogravityJobs, warm.Fig12.TomogravityJobs)
+	bitsEqualSeries(t, "Fig12.TomogravityRoles", cold.Fig12.TomogravityRoles, warm.Fig12.TomogravityRoles)
+}
+
+// TestAnalyzeTomoSolverSeries checks the solver-effort observability:
+// a default (warm) run reports per-window pivot and refactorization
+// histograms covering every analyzed window plus warm/cold counters
+// that partition them, and a TomoCold run reports zero warm windows.
+func TestAnalyzeTomoSolverSeries(t *testing.T) {
+	rr, _ := smallRun(t)
+
+	reg := obs.NewRegistry()
+	rep, err := AnalyzeContext(context.Background(), rr, AnalyzeOptions{Observer: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	windows := float64(rep.Fig12.NumTMs)
+	pivots, ok := snap.Get("tomo.pivots_per_window")
+	if !ok || float64(pivots.Count) != windows {
+		t.Fatalf("pivot histogram covers %d windows, want %v", pivots.Count, windows)
+	}
+	refacs, ok := snap.Get("tomo.refactorizations_per_window")
+	if !ok || float64(refacs.Count) != windows {
+		t.Fatalf("refactorization histogram covers %d windows, want %v", refacs.Count, windows)
+	}
+	nWarm := snap.Value("tomo.windows_warm")
+	nCold := snap.Value("tomo.windows_cold")
+	if nWarm+nCold != windows {
+		t.Fatalf("warm %v + cold %v != windows %v", nWarm, nCold, windows)
+	}
+	if nWarm == 0 {
+		t.Fatal("warm repair never engaged on the default pipeline")
+	}
+
+	regCold := obs.NewRegistry()
+	if _, err := AnalyzeContext(context.Background(), rr, AnalyzeOptions{Observer: regCold, TomoCold: true}); err != nil {
+		t.Fatal(err)
+	}
+	if v := regCold.Snapshot().Value("tomo.windows_warm"); v != 0 {
+		t.Fatalf("TomoCold run reported %v warm windows", v)
+	}
+}

@@ -71,6 +71,26 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return y
 }
 
+// MulVecInto computes dst = m·x without allocating; dst must have
+// length m.Rows. The accumulation order (and hence every bit of the
+// result) matches MulVec.
+func (m *Matrix) MulVecInto(dst, x []float64) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVecInto dim mismatch %d vs %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic("linalg: MulVecInto dst length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
 // Mul returns m·b. It panics on dimension mismatch.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {

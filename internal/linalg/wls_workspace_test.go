@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"dctraffic/internal/stats"
+)
+
+// wlsProjectReference is the original dense WLSProject implementation,
+// kept verbatim as the bit-identity reference for WLSWorkspace.Project
+// (which reorders nothing, only reuses storage and skips exact-zero
+// terms).
+func wlsProjectReference(a *Matrix, b, g, w []float64) ([]float64, error) {
+	if a.Cols != len(g) || a.Cols != len(w) || a.Rows != len(b) {
+		panic("linalg: WLSProject dim mismatch")
+	}
+	const wFloor = 1e-9
+	wc := make([]float64, len(w))
+	for i, v := range w {
+		if v < wFloor {
+			v = wFloor
+		}
+		wc[i] = v
+	}
+	r := Sub(b, a.MulVec(g))
+	aw := a.MulDiagRight(wc)
+	m := aw.Mul(a.T())
+	ridge := 1e-8 * traceOf(m) / float64(m.Rows)
+	if ridge <= 0 {
+		ridge = 1e-12
+	}
+	y, err := SolveSPD(m, r, ridge)
+	if err != nil {
+		return nil, err
+	}
+	x := append([]float64(nil), g...)
+	at := a.T()
+	wy := at.MulVec(y)
+	for j := range x {
+		x[j] += wc[j] * wy[j]
+	}
+	return x, nil
+}
+
+// randomWLSInstance builds a routing-like sparse system with a feasible,
+// paper-magnitude prior.
+func randomWLSInstance(seed uint64) (*Matrix, []float64, []float64) {
+	r := stats.NewRNG(seed)
+	m := 6 + r.IntN(10)
+	n := m + r.IntN(30)
+	a := NewMatrix(m, n)
+	for col := 0; col < n; col++ {
+		k := 1 + r.IntN(3)
+		for t := 0; t < k; t++ {
+			a.Set(r.IntN(m), col, 1)
+		}
+	}
+	g := make([]float64, n)
+	for j := range g {
+		if r.Bool(0.4) {
+			g[j] = r.Float64() * 1e9
+		}
+	}
+	b := a.MulVec(g)
+	for i := range b {
+		b[i] *= 1 + (r.Float64()-0.5)*0.1 // perturb so the projection works
+	}
+	return a, b, g
+}
+
+// TestWLSWorkspaceMatchesReferenceBitwise requires Project (and therefore
+// WLSProject, which delegates to it) to reproduce the original dense
+// implementation bit for bit, weights equal to the prior as tomogravity
+// uses them.
+func TestWLSWorkspaceMatchesReferenceBitwise(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		a, b, g := randomWLSInstance(seed)
+		want, errW := wlsProjectReference(a, b, g, g)
+		got, errG := NewWLSWorkspace(a).Project(nil, b, g, g)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("seed %d: error mismatch: %v vs %v", seed, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		for j := range want {
+			if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+				t.Fatalf("seed %d: x[%d] differs: %v vs %v", seed, j, want[j], got[j])
+			}
+		}
+	}
+}
+
+// TestWLSWorkspaceSteadyStateAllocs requires repeated projections through
+// one workspace to allocate nothing once dst is provided.
+func TestWLSWorkspaceSteadyStateAllocs(t *testing.T) {
+	a, b, g := randomWLSInstance(7)
+	ws := NewWLSWorkspace(a)
+	dst := make([]float64, a.Cols)
+	if _, err := ws.Project(dst, b, g, g); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ws.Project(dst, b, g, g); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Project allocates %v allocs/op in steady state", allocs)
+	}
+}

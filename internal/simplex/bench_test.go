@@ -29,26 +29,60 @@ func tomoSized(racks int, seed uint64) (*linalg.Matrix, []float64) {
 	return a, a.MulVec(x)
 }
 
-// BenchmarkFeasibleBasic8Racks is the sparsity-max solve at test scale.
-func BenchmarkFeasibleBasic8Racks(b *testing.B) {
-	a, rhs := tomoSized(8, 1)
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := FeasibleBasic(a, rhs); err != nil {
-			b.Fatal(err)
-		}
+// benchFeasible runs the cold sparsity-max solve through both engines:
+// the revised sparse solver (the default) and the dense tableau it is
+// pinned against.
+func benchFeasible(b *testing.B, racks int, seed uint64) {
+	a, rhs := tomoSized(racks, seed)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sparse", Options{}},
+		{"dense", Options{Dense: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := NewSolver(a, tc.opts)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.FeasibleBasic(rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
+// BenchmarkFeasibleBasic8Racks is the sparsity-max solve at test scale.
+func BenchmarkFeasibleBasic8Racks(b *testing.B) { benchFeasible(b, 8, 1) }
+
 // BenchmarkFeasibleBasic32Racks approaches paper-scale structure (the
-// full 75-rack solve runs in cmd/dctomo).
-func BenchmarkFeasibleBasic32Racks(b *testing.B) {
+// full 75-rack solve is benchmarked in internal/tomo).
+func BenchmarkFeasibleBasic32Racks(b *testing.B) { benchFeasible(b, 32, 2) }
+
+// BenchmarkWarmFeasibleBasic32Racks perturbs the right-hand side ±2%
+// between solves and warm-starts each one from the previous basis.
+func BenchmarkWarmFeasibleBasic32Racks(b *testing.B) {
 	a, rhs := tomoSized(32, 2)
+	r := stats.NewRNG(5)
+	rhss := make([][]float64, 8)
+	for k := range rhss {
+		v := append([]float64(nil), rhs...)
+		for i := range v {
+			v[i] *= 1 + (r.Float64()-0.5)*0.04
+		}
+		rhss[k] = v
+	}
+	s := NewSolver(a, Options{})
+	for _, v := range rhss {
+		if _, err := s.WarmFeasibleBasic(v); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := FeasibleBasic(a, rhs); err != nil {
+		if _, err := s.WarmFeasibleBasic(rhss[i%len(rhss)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,107 @@
+package tomo
+
+import (
+	"math"
+	"testing"
+
+	"dctraffic/internal/stats"
+	"dctraffic/internal/tm"
+	"dctraffic/internal/topology"
+)
+
+// benchTorTM builds a paper-window-dense ToR TM: many concurrent jobs
+// each spanning a few racks, so the link-count vector exercises most
+// constraints the way a real 10-minute window does.
+func benchTorTM(top *topology.Topology, seed uint64, jobs int) *tm.Matrix {
+	r := stats.NewRNG(seed)
+	m := tm.NewMatrix(top.NumRacks())
+	for job := 0; job < jobs; job++ {
+		base := r.IntN(top.NumRacks())
+		span := 2 + r.IntN(3)
+		for a := 0; a < span; a++ {
+			for b := 0; b < span; b++ {
+				if a == b {
+					continue
+				}
+				i := (base + a) % top.NumRacks()
+				j := (base + b) % top.NumRacks()
+				m.Add(i, j, 1e9*(0.5+r.Float64()))
+			}
+		}
+	}
+	return m
+}
+
+// paperWindowBs builds the link-count vectors of a drifting window
+// sequence on the paper-scale cluster — the exact inputs a tomography
+// chain feeds its estimator.
+func paperWindowBs(p *Problem, top *topology.Topology, steps int) [][]float64 {
+	r := stats.NewRNG(11)
+	truth := benchTorTM(top, 11, 25)
+	bs := make([][]float64, steps)
+	for i := range bs {
+		bs[i] = p.LinkCounts(truth)
+		truth = driftTM2(truth, r)
+	}
+	return bs
+}
+
+// driftTM2 is driftTM without the testing.T plumbing (benchmarks share
+// the same window-to-window drift model as the estimator tests).
+func driftTM2(m *tm.Matrix, r *stats.RNG) *tm.Matrix {
+	n := m.N()
+	next := tm.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m.At(i, j)
+			if v > 0 && r.Bool(0.3) {
+				v = math.Max(0, v+(r.Float64()-0.5)*0.2*v)
+			}
+			next.Add(i, j, v)
+		}
+	}
+	return next
+}
+
+// BenchmarkSparsityMax is one cold paper-scale (75-rack) sparsity-max
+// solve — the tomography pipeline's dominant cost before warm starts.
+func BenchmarkSparsityMax(b *testing.B) {
+	top := topology.MustNew(topology.DefaultConfig())
+	p := NewProblem(top)
+	bs := paperWindowBs(p, top, 1)
+	e := p.NewEstimator(EstimatorOptions{Cold: true})
+	var sm []float64
+	var err error
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sm, err = e.SparsityMaxInto(sm, bs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparsityMaxWarm cycles drifting paper-scale windows through
+// one warm estimator — the steady-state per-window cost of a tomography
+// chain. The primed loop before the timer guarantees every measured
+// solve starts from the previous window's basis.
+func BenchmarkSparsityMaxWarm(b *testing.B) {
+	top := topology.MustNew(topology.DefaultConfig())
+	p := NewProblem(top)
+	bs := paperWindowBs(p, top, 8)
+	e := p.NewEstimator(EstimatorOptions{})
+	var sm []float64
+	var err error
+	for _, rhs := range bs {
+		if sm, err = e.SparsityMaxInto(sm, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sm, err = e.SparsityMaxInto(sm, bs[i%len(bs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

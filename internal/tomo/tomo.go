@@ -43,7 +43,8 @@ type Problem struct {
 	racks int
 	pairs []pair // column index -> (src rack, dst rack)
 
-	a *linalg.Matrix // rows: inter-switch link counters; cols: pairs
+	a   *linalg.Matrix // rows: inter-switch link counters; cols: pairs
+	csc *linalg.CSC    // column index of a, shared by every solver bound to it
 
 	rowOfLink map[topology.LinkID]int
 	links     []topology.LinkID // row order
@@ -83,6 +84,7 @@ func NewProblem(top *topology.Topology) *Problem {
 			p.a.Set(row, col, 1)
 		}
 	}
+	p.csc = linalg.NewCSC(p.a)
 	return p
 }
 
@@ -94,14 +96,22 @@ func (p *Problem) NumConstraints() int { return len(p.links) }
 
 // VecFromTM flattens a ToR TM into the pair vector.
 func (p *Problem) VecFromTM(m *tm.Matrix) []float64 {
+	return p.VecFromTMInto(make([]float64, len(p.pairs)), m)
+}
+
+// VecFromTMInto is VecFromTM writing into dst, which must have NumPairs
+// entries.
+func (p *Problem) VecFromTMInto(dst []float64, m *tm.Matrix) []float64 {
 	if m.N() != p.racks {
 		panic("tomo: TM size mismatch")
 	}
-	x := make([]float64, len(p.pairs))
-	for i, pr := range p.pairs {
-		x[i] = m.At(pr.src, pr.dst)
+	if len(dst) != len(p.pairs) {
+		panic("tomo: vector size mismatch")
 	}
-	return x
+	for i, pr := range p.pairs {
+		dst[i] = m.At(pr.src, pr.dst)
+	}
+	return dst
 }
 
 // TMFromVec inflates a pair vector into a ToR TM.
@@ -129,6 +139,13 @@ func (p *Problem) LinkCounts(truth *tm.Matrix) []float64 {
 func (p *Problem) rowColSumsFromCounts(b []float64) (out, in []float64, total float64) {
 	out = make([]float64, p.racks)
 	in = make([]float64, p.racks)
+	total = p.rowColSumsInto(out, in, b)
+	return out, in, total
+}
+
+// rowColSumsInto accumulates the per-ToR totals into caller-provided
+// (zeroed) slices and returns the grand total.
+func (p *Problem) rowColSumsInto(out, in []float64, b []float64) (total float64) {
 	for r := 0; r < p.racks; r++ {
 		for _, l := range p.top.TorUplinks(topology.RackID(r)) {
 			if row, ok := p.rowOfLink[l]; ok {
@@ -144,11 +161,15 @@ func (p *Problem) rowColSumsFromCounts(b []float64) (out, in []float64, total fl
 	for _, v := range out {
 		total += v
 	}
-	return out, in, total
+	return total
 }
 
 // GravityPrior builds the gravity estimate from link counts alone:
 // g_ij = out_i · in_j / total, spread over all off-diagonal pairs.
+// Each call allocates the prior and the per-rack totals; batch
+// workloads get the same arithmetic allocation-free through an
+// Estimator's Tomogravity*Into methods, which keep the prior in a
+// reused workspace.
 func (p *Problem) GravityPrior(b []float64) []float64 {
 	out, in, total := p.rowColSumsFromCounts(b)
 	g := make([]float64, len(p.pairs))
@@ -173,7 +194,10 @@ func (p *Problem) GravityPrior(b []float64) []float64 {
 
 // Tomogravity estimates the TM from link counts: gravity prior, then a
 // weighted least-squares adjustment onto the constraint subspace, clamped
-// non-negative.
+// non-negative (linalg.ClampNonNeg works in place — the returned slice is
+// the projection's). Batch workloads should prefer
+// Estimator.TomogravityInto, which is bit-identical and reuses its
+// solver workspace across calls.
 func (p *Problem) Tomogravity(b []float64) ([]float64, error) {
 	g := p.GravityPrior(b)
 	x, err := linalg.WLSProject(p.a, b, g, g)
@@ -211,9 +235,12 @@ func (p *Problem) TomogravityWithMultiplier(b, mult []float64) ([]float64, error
 }
 
 // SparsityMax finds the sparsest TM consistent with the link counts via a
-// phase-1 basic feasible solution (≤ rank(A) non-zero entries).
+// phase-1 basic feasible solution (≤ rank(A) non-zero entries). Each call
+// spins up a solver on the shared column index, so SparsityMax stays
+// goroutine-safe; batch workloads should prefer an Estimator, which reuses
+// one solver (and can warm-start it) across windows.
 func (p *Problem) SparsityMax(b []float64) ([]float64, error) {
-	res, err := simplex.FeasibleBasic(p.a, b)
+	res, err := simplex.NewSolverFromCSC(p.csc, simplex.Options{}).FeasibleBasic(b)
 	if err != nil {
 		return nil, fmt.Errorf("tomo: sparsity maximization: %w", err)
 	}
