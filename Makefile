@@ -24,8 +24,10 @@ lint:
 
 # The default verify path: vet, the determinism linter, the full suite,
 # the race detector over the two packages that deliver observer
-# callbacks, and the parallel-analysis race leg (the task slots of the
-# analyze pipeline must stay disjoint).
+# callbacks (the netsim leg includes the parallel simulate property
+# tests, so the per-rack domain engine runs under the race detector),
+# and the parallel-analysis race leg (the task slots of the analyze
+# pipeline must stay disjoint).
 test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/netsim ./internal/sched

@@ -9,14 +9,11 @@ import (
 	"time"
 )
 
-// traceDigest runs a shortened SmallRun simulation and hashes everything
-// determinism covers: every reassembled flow record in the trace plus
-// the full analysis report.
-func traceDigest(t *testing.T) string {
+// digestRun simulates cfg and hashes everything determinism covers:
+// every reassembled flow record in the trace plus the full analysis
+// report.
+func digestRun(t *testing.T, cfg RunConfig) string {
 	t.Helper()
-	cfg := SmallRun()
-	cfg.Duration = 20 * time.Minute
-	cfg.DrainTime = 10 * time.Minute
 	rr, err := Simulate(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -34,15 +31,26 @@ func traceDigest(t *testing.T) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// traceDigest runs a shortened SmallRun simulation with the default
+// simulate parallelism and digests it.
+func traceDigest(t *testing.T) string {
+	t.Helper()
+	cfg := SmallRun()
+	cfg.Duration = 20 * time.Minute
+	cfg.DrainTime = 10 * time.Minute
+	return digestRun(t, cfg)
+}
+
 // The determinism invariant must hold across parallelism settings, not
 // just across repeated runs: the simulator is specified to be a pure
 // function of its seed, so GOMAXPROCS=1 and GOMAXPROCS=NumCPU must
-// produce byte-identical trace digests. This is the regression guard
-// for anyone introducing scheduler-ordered work (dctlint's floatsum
-// analyzer is the static half of the same contract).
+// produce byte-identical trace digests — and so must every simulate
+// worker count, against the Sequential reference loop. This is the
+// regression guard for anyone introducing scheduler-ordered work
+// (dctlint's floatsum analyzer is the static half of the same contract).
 func TestCrossGOMAXPROCSDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("two full shortened simulations")
+		t.Skip("many full shortened simulations")
 	}
 	prev := runtime.GOMAXPROCS(1)
 	serial := traceDigest(t)
@@ -51,5 +59,44 @@ func TestCrossGOMAXPROCSDeterminism(t *testing.T) {
 	runtime.GOMAXPROCS(prev)
 	if serial != parallel {
 		t.Fatalf("trace digest differs across GOMAXPROCS:\n  GOMAXPROCS=1:      %s\n  GOMAXPROCS=NumCPU: %s", serial, parallel)
+	}
+
+	// Simulate-phase worker matrix: {1, 2, NumCPU} workers × 2 seeds,
+	// each against the Sequential reference loop.
+	for _, seed := range []uint64{1, 5} {
+		cfg := SmallRun()
+		cfg.Duration = 15 * time.Minute
+		cfg.DrainTime = 5 * time.Minute
+		cfg.Seed = seed
+		cfg.Sched.Seed = seed
+		cfg.Sequential = true
+		want := digestRun(t, cfg)
+		for _, w := range []int{1, 2, runtime.NumCPU()} {
+			cfg.Sequential = false
+			cfg.Workers = w
+			if got := digestRun(t, cfg); got != want {
+				t.Fatalf("seed %d: workers=%d digest %s != sequential %s", seed, w, got, want)
+			}
+		}
+	}
+}
+
+// TestPaperScaleWorkerDeterminism checks the same contract on the
+// paper-scale topology (75 racks × 20 servers, 10 ms rate batching) over
+// a shortened window: the per-rack domain decomposition must not depend
+// on the fabric size.
+func TestPaperScaleWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two shortened paper-scale simulations")
+	}
+	cfg := PaperRun()
+	cfg.Duration = 10 * time.Minute
+	cfg.DrainTime = 5 * time.Minute
+	cfg.Sequential = true
+	want := digestRun(t, cfg)
+	cfg.Sequential = false
+	cfg.Workers = 2
+	if got := digestRun(t, cfg); got != want {
+		t.Fatalf("paper-scale: workers=2 digest %s != sequential %s", got, want)
 	}
 }

@@ -49,6 +49,16 @@ type RunConfig struct {
 	// identical; the knob exists for validation and A/B timing.
 	FullRecompute bool
 
+	// Workers bounds the goroutines the simulator's per-rack event-
+	// domain engine may use during the simulate phase (0 = GOMAXPROCS).
+	// Results are bit-identical at any worker count.
+	Workers int
+
+	// Sequential forces the simulator's single-goroutine reference
+	// event loop (the A/B path for the parallel engine). Results are
+	// identical; the knob exists for validation and timing.
+	Sequential bool
+
 	Seed uint64
 }
 
@@ -222,6 +232,8 @@ func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, err
 		StatsBinSize:         cfg.UtilBinSize,
 		MinRecomputeInterval: cfg.RateRecompute,
 		FullRecompute:        cfg.FullRecompute,
+		Workers:              cfg.Workers,
+		Sequential:           cfg.Sequential,
 	})
 	collector := trace.NewCollector(top, cfg.Trace)
 	net.AddObserver(collector)

@@ -148,6 +148,54 @@ func channelCollectOK(ch chan float64) []float64 {
 	return out
 }
 
+// simDomain mirrors netsim's per-rack event domains: a worker owns a
+// contiguous range of domains and writes only their per-window slots,
+// which the coordinator folds in domain order after the barrier.
+type simDomain struct {
+	clock        int64
+	bytesPartial float64
+}
+
+func domainSlotsOK(doms []simDomain, parts [][]float64) float64 {
+	var wg sync.WaitGroup
+	for i := range doms {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range parts[i] {
+				doms[i].bytesPartial += v // owned domain slot behind a field selector: not flagged
+			}
+		}()
+	}
+	wg.Wait()
+	// Fixed-order merge at the window barrier: bit-identical at any
+	// worker count.
+	total := 0.0
+	for i := range doms {
+		total += doms[i].bytesPartial
+	}
+	return total
+}
+
+// netTotals stands in for the simulator state a worker must NOT merge
+// into on its own: the fold below runs on whichever worker finishes its
+// span first, so the sum's rounding follows the scheduler.
+type netTotals struct {
+	totalBytes float64
+}
+
+func domainBarrierMergeNotOK(doms []simDomain, nt *netTotals) {
+	var wg sync.WaitGroup
+	for i := range doms {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nt.totalBytes += doms[i].bytesPartial // want "floating-point accumulation into captured nt"
+		}()
+	}
+	wg.Wait()
+}
+
 func suppressedOK(ch chan float64) float64 {
 	total := 0.0
 	for v := range ch {

@@ -128,6 +128,53 @@ func mapWriteOK(src map[string]int) map[string]int {
 	return dst
 }
 
+// eventDomain mirrors netsim's per-rack domains: the event queue and the
+// float accumulator sit behind a field selector, and the analyzers must
+// see through that indirection.
+type eventDomain struct {
+	q   *sim
+	sum float64
+}
+
+func domainMapScheduleNotOK(domains map[int]int, core *eventDomain) {
+	for r := range domains {
+		core.q.Schedule(r, func() {}) // want "core.q.Schedule inside map iteration"
+	}
+}
+
+func domainOwnQueueOK(domains map[int]*eventDomain) {
+	for r, d := range domains {
+		d.q.Schedule(r, func() {}) // the iterated domain's own queue: one insertion per queue, order-insensitive
+	}
+}
+
+func domainSortedScheduleOK(domains map[int]*eventDomain) {
+	keys := make([]int, 0, len(domains))
+	for k := range domains {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		domains[k].q.Schedule(k, func() {}) // slice range, fixed order
+	}
+}
+
+func domainFieldAccumNotOK(m map[string]float64, d *eventDomain) {
+	for _, v := range m {
+		d.sum += v // want "floating-point accumulation into d.sum inside map iteration"
+	}
+}
+
+func domainSliceMergeOK(m map[int][]float64, doms []*eventDomain) {
+	for k, vs := range m {
+		s := 0.0 // per-key accumulator, then one store to a distinct slot
+		for _, v := range vs {
+			s += v
+		}
+		doms[k].sum = s
+	}
+}
+
 func suppressedAboveOK(m map[string]float64) float64 {
 	total := 0.0
 	for _, v := range m {

@@ -8,6 +8,26 @@ import (
 	"dctraffic/internal/topology"
 )
 
+// BenchmarkScheduleRun isolates the event core: schedule 4096 callbacks
+// across 64 distinct instants (FIFO runs within each) and drain the
+// queue. allocs/op is the interesting number — the value-slice heap
+// schedules without a per-event allocation, so steady state amortizes to
+// the queue's growth reallocations only.
+func BenchmarkScheduleRun(b *testing.B) {
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Sim
+		for j := 0; j < 4096; j++ {
+			s.Schedule(Time(j%64)*time.Millisecond, fn)
+		}
+		s.RunAll()
+		if s.EventsProcessed() != 4096 {
+			b.Fatal("events lost")
+		}
+	}
+}
+
 // BenchmarkFlowChurn measures simulator throughput in flows completed per
 // benchmark op: a churning mix of small and medium flows on the small
 // topology with exact rate recomputation.
@@ -48,6 +68,65 @@ func BenchmarkFlowChurnBatched(b *testing.B) {
 		}
 		n.RunAll()
 	}
+}
+
+// simulateWorkload drives a paper-scale closed-loop churn: flows are 90%
+// rack-local (the paper's work-seeks-bandwidth locality) and completion
+// callbacks chain replacements, under the day-scale 10 ms rate batching.
+// Shared by BenchmarkSimulate and BenchmarkSimulateParallel so the two
+// time exactly the same (bit-identical) simulation.
+func simulateWorkload(b *testing.B, opts Options) {
+	cfg := topology.DefaultConfig()
+	top := topology.MustNew(cfg)
+	opts.MinRecomputeInterval = 10 * time.Millisecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := New(top, opts)
+		r := stats.NewRNG(1)
+		spr := cfg.ServersPerRack
+		pair := func() (topology.ServerID, topology.ServerID) {
+			if r.Float64() < 0.9 {
+				rack := r.IntN(cfg.Racks)
+				return topology.ServerID(rack*spr + r.IntN(spr)),
+					topology.ServerID(rack*spr + r.IntN(spr))
+			}
+			return topology.ServerID(r.IntN(top.NumHosts())), topology.ServerID(r.IntN(top.NumHosts()))
+		}
+		var chain func(depth int) func(*Flow)
+		chain = func(depth int) func(*Flow) {
+			if depth <= 0 {
+				return nil
+			}
+			return func(*Flow) {
+				src, dst := pair()
+				n.StartFlow(src, dst, int64(1+r.IntN(30_000_000)), FlowTag{}, chain(depth-1))
+			}
+		}
+		for f := 0; f < 2500; f++ {
+			n.After(Time(r.IntN(500))*time.Millisecond, func() {
+				src, dst := pair()
+				n.StartFlow(src, dst, int64(1+r.IntN(30_000_000)), FlowTag{}, chain(2))
+			})
+		}
+		n.RunAll()
+		if n.FlowsCompleted() != 7500 {
+			b.Fatalf("flows lost: %d", n.FlowsCompleted())
+		}
+	}
+}
+
+// BenchmarkSimulate is the paper-scale simulate phase on the sequential
+// reference path: DefaultConfig (75 racks × 20 servers) under a churning
+// closed-loop workload of 7500 rack-local-heavy flows.
+func BenchmarkSimulate(b *testing.B) {
+	simulateWorkload(b, Options{Sequential: true})
+}
+
+// BenchmarkSimulateParallel is the identical workload on the per-rack
+// domain engine at the default worker count (GOMAXPROCS). The traces are
+// bit-identical to BenchmarkSimulate; only wall clock may differ.
+func BenchmarkSimulateParallel(b *testing.B) {
+	simulateWorkload(b, Options{})
 }
 
 // BenchmarkMaxMinRecompute isolates the progressive-filling allocation

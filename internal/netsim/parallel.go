@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"sync"
+)
+
+// parPhase identifies which per-domain (or per-component) phase the pool
+// should run. Phases never overlap: the coordinator dispatches one,
+// waits for the barrier, and merges before dispatching the next.
+type parPhase uint8
+
+const (
+	phaseAdvance parPhase = 1 + iota // advanceDomain over domains
+	phaseMin                         // minDomain over domains
+	phaseSolve                       // solveComp over components
+)
+
+// Inline thresholds: below this much work the coordinator runs the phase
+// itself rather than paying ~µs of barrier latency. The choice is
+// data-driven (a function of simulation state identical at any worker
+// count) and both execution modes compute the same floats in the same
+// order, so the cutoffs cannot affect results — only wall clock.
+const (
+	parMinPhaseWork = 192 // active flows + active links for the domain phases
+	parMinSolveWork = 96  // unfrozen flows across ≥2 components for the solve phase
+)
+
+// parEngine fans a step's phases across a fixed pool of workers. Each
+// worker owns a static contiguous range of domains (and of components in
+// the solve phase), so a dispatch is one channel send per worker plus a
+// WaitGroup barrier — no per-domain handoffs. Workers start lazily at
+// the first dispatch and live until the enclosing Network.Run returns.
+type parEngine struct {
+	n       *Network
+	cmd     []chan parPhase
+	wg      sync.WaitGroup
+	started bool
+
+	// Phase arguments: written by the coordinator before the dispatch,
+	// read by workers after the channel receive (which orders the
+	// writes), and never touched while the pool is running.
+	now   Time
+	dt    float64
+	comps []component
+}
+
+func newParEngine(n *Network, workers int) *parEngine {
+	return &parEngine{n: n, cmd: make([]chan parPhase, workers)}
+}
+
+// dispatch runs one phase across the pool and blocks until every worker
+// has finished it.
+func (e *parEngine) dispatch(p parPhase) {
+	if !e.started {
+		e.started = true
+		for w := range e.cmd {
+			c := make(chan parPhase, 1)
+			e.cmd[w] = c
+			go e.worker(w, c)
+		}
+	}
+	e.n.barrierWaits++
+	e.wg.Add(len(e.cmd))
+	for _, c := range e.cmd {
+		c <- p
+	}
+	e.wg.Wait()
+}
+
+// stop terminates the worker goroutines (if any started).
+func (e *parEngine) stop() {
+	if !e.started {
+		return
+	}
+	e.started = false
+	for _, c := range e.cmd {
+		close(c)
+	}
+}
+
+// span is worker w's static share of m items: the half-open index range
+// [lo, hi). Contiguous ranges keep each worker on adjacent domains.
+func (e *parEngine) span(m, w int) (lo, hi int) {
+	k := len(e.cmd)
+	return m * w / k, m * (w + 1) / k
+}
+
+func (e *parEngine) worker(w int, c chan parPhase) {
+	for p := range c {
+		n := e.n
+		switch p {
+		case phaseAdvance:
+			lo, hi := e.span(len(n.doms), w)
+			for i := lo; i < hi; i++ {
+				n.advanceDomain(&n.doms[i], e.now, e.dt)
+			}
+		case phaseMin:
+			lo, hi := e.span(len(n.doms), w)
+			for i := lo; i < hi; i++ {
+				n.minDomain(&n.doms[i])
+			}
+		case phaseSolve:
+			lo, hi := e.span(len(e.comps), w)
+			for i := lo; i < hi; i++ {
+				n.solveComp(&e.comps[i])
+			}
+		}
+		e.wg.Done()
+	}
+}
+
+// startEngine arms the worker pool for a Run if the options ask for one.
+// With Sequential set (or one worker, or a topology too small to split)
+// the engine stays nil and every phase runs inline — the A/B reference
+// path, bit-identical by the contract above.
+func (n *Network) startEngine() {
+	if n.eng != nil || n.opts.Sequential || n.workersN <= 1 || len(n.doms) < 2 {
+		return
+	}
+	n.eng = newParEngine(n, n.workersN)
+}
+
+// stopEngine tears the pool down at the end of a Run.
+func (n *Network) stopEngine() {
+	if n.eng != nil {
+		n.eng.stop()
+		n.eng = nil
+	}
+}
+
+// Run processes events as Sim.Run does, with the allocation-step phases
+// fanned across the configured worker pool for the duration of the call.
+// Results are bit-identical to the sequential path at any worker count.
+func (n *Network) Run(until Time) {
+	n.startEngine()
+	defer n.stopEngine()
+	n.Sim.Run(until)
+}
+
+// RunAll processes every queued event regardless of time, with the same
+// pool lifecycle as Run.
+func (n *Network) RunAll() {
+	n.startEngine()
+	defer n.stopEngine()
+	n.Sim.RunAll()
+}
+
+// Windows reports the number of synchronization windows (allocation
+// steps) executed so far.
+func (n *Network) Windows() int64 { return n.windows }
+
+// BarrierWaits reports the cumulative number of phase barriers the
+// coordinator has waited on (zero when every phase ran inline).
+func (n *Network) BarrierWaits() int64 { return n.barrierWaits }

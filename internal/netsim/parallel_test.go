@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"dctraffic/internal/stats"
+	"dctraffic/internal/topology"
+)
+
+// digestObserver hashes every flow lifecycle fact determinism covers:
+// identity, endpoints, ports, timing, cancellation and the exact float
+// bits of the bytes moved. Two runs agree on the digest iff their traces
+// are bit-identical.
+type digestObserver struct {
+	h     [32]byte
+	count int
+}
+
+func (d *digestObserver) FlowStarted(f *Flow) {}
+func (d *digestObserver) FlowEnded(f *Flow) {
+	s := fmt.Sprintf("%x|%d %d %d %d %d %d %d %v %016x\n",
+		d.h, f.ID, f.Src, f.Dst, f.SrcPort, f.DstPort, f.Start, f.End,
+		f.Canceled, math.Float64bits(f.Transferred()))
+	d.h = sha256.Sum256([]byte(s))
+	d.count++
+}
+
+// synthConfig is one randomized small-cluster workload variant.
+type synthConfig struct {
+	seed      uint64
+	batched   bool // 10 ms MinRecomputeInterval (day-scale configuration)
+	rackLocal bool // 80% same-rack pairs (work-seeks-bandwidth shape)
+	evacuate  bool // periodic CancelWhere storms with bulk restarts
+}
+
+// runSynthetic drives a closed-loop random workload: an initial wave of
+// flows whose completion callbacks chain replacement flows (so RNG draws
+// happen in event order, exercising the canonical merge order), plus
+// optional evacuation storms. Returns the trace digest.
+func runSynthetic(t *testing.T, sc synthConfig, opts Options) (string, int) {
+	t.Helper()
+	top := topology.MustNew(topology.SmallConfig())
+	if sc.batched {
+		opts.MinRecomputeInterval = 10 * time.Millisecond
+	}
+	n := New(top, opts)
+	d := &digestObserver{}
+	n.AddObserver(d)
+	r := stats.NewRNG(sc.seed)
+	hosts := top.NumHosts()
+	servers := top.NumServers()
+	spr := top.Config().ServersPerRack
+
+	pair := func() (topology.ServerID, topology.ServerID) {
+		if sc.rackLocal && r.Float64() < 0.8 {
+			rack := r.IntN(top.NumRacks())
+			src := topology.ServerID(rack*spr + r.IntN(spr))
+			dst := topology.ServerID(rack*spr + r.IntN(spr))
+			return src, dst
+		}
+		return topology.ServerID(r.IntN(hosts)), topology.ServerID(r.IntN(hosts))
+	}
+	var chain func(depth, job int) func(*Flow)
+	chain = func(depth, job int) func(*Flow) {
+		if depth <= 0 {
+			return nil
+		}
+		return func(f *Flow) {
+			if f.Canceled {
+				return
+			}
+			src, dst := pair()
+			n.StartFlow(src, dst, int64(1+r.IntN(4_000_000)), FlowTag{Job: job}, chain(depth-1, job))
+		}
+	}
+	const initial = 400
+	for i := 0; i < initial; i++ {
+		i := i
+		n.After(Time(r.IntN(300))*time.Millisecond, func() {
+			src, dst := pair()
+			n.StartFlow(src, dst, int64(1+r.IntN(6_000_000)), FlowTag{Job: i % 7}, chain(2, i%7))
+		})
+	}
+	if sc.evacuate {
+		// Periodic evacuation: reap one job's transfers, then bulk-restart
+		// them as evacuation traffic off the victim server.
+		for k := 0; k < 8; k++ {
+			k := k
+			n.After(Time(150+100*k)*time.Millisecond, func() {
+				job := k % 7
+				n.CancelWhere(func(f *Flow) bool { return f.Tag.Job == job && f.Tag.Kind != KindEvacuate })
+				victim := topology.ServerID(r.IntN(servers))
+				for i := 0; i < 40; i++ {
+					dst := topology.ServerID(r.IntN(servers))
+					n.StartFlow(victim, dst, int64(1+r.IntN(2_000_000)),
+						FlowTag{Job: job, Kind: KindEvacuate}, chain(1, job))
+				}
+			})
+		}
+	}
+	n.RunAll()
+	if got := d.count; got < initial {
+		t.Fatalf("workload too small: %d flows ended", got)
+	}
+	return hex.EncodeToString(d.h[:]), d.count
+}
+
+// TestParallelMatchesSequential is the property test for the three-rule
+// determinism contract: on ≥20 random small-cluster workloads — churny,
+// rack-local, evacuation-heavy, exact and batched — the parallel engine
+// at worker counts {1, 2, 3, NumCPU} produces traces bit-identical to
+// Options.Sequential.
+func TestParallelMatchesSequential(t *testing.T) {
+	workerCounts := []int{1, 2, 3, runtime.NumCPU()}
+	for seed := uint64(1); seed <= 20; seed++ {
+		sc := synthConfig{
+			seed:      seed,
+			batched:   seed%2 == 0,
+			rackLocal: seed%3 != 0,
+			evacuate:  seed%4 == 0 || seed >= 16, // ≥ 9 evacuation-heavy variants
+		}
+		want, wantN := runSynthetic(t, sc, Options{Sequential: true})
+		for _, w := range workerCounts {
+			got, gotN := runSynthetic(t, sc, Options{Workers: w})
+			if got != want {
+				t.Fatalf("seed %d (batched=%v rackLocal=%v evacuate=%v): workers=%d digest %s != sequential %s (%d vs %d flows)",
+					seed, sc.batched, sc.rackLocal, sc.evacuate, w, got, want, gotN, wantN)
+			}
+		}
+	}
+}
+
+// TestParallelEngineEngages guards against the pool silently never
+// running: a workload above the inline thresholds must cross at least
+// one phase barrier when workers > 1.
+func TestParallelEngineEngages(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	n := New(top, Options{Workers: 2})
+	r := stats.NewRNG(7)
+	for i := 0; i < 600; i++ {
+		src := topology.ServerID(r.IntN(top.NumHosts()))
+		dst := topology.ServerID(r.IntN(top.NumHosts()))
+		n.After(Time(r.IntN(50))*time.Millisecond, func() {
+			n.StartFlow(src, dst, int64(1+r.IntN(8_000_000)), FlowTag{}, nil)
+		})
+	}
+	n.RunAll()
+	if n.BarrierWaits() == 0 {
+		t.Fatal("parallel engine never dispatched a phase; inline thresholds swallowed the workload")
+	}
+	if n.Windows() == 0 {
+		t.Fatal("no synchronization windows recorded")
+	}
+}
+
+// TestSequentialHasNoBarriers pins the A/B reference path: with
+// Sequential set the pool must never start, whatever the workload.
+func TestSequentialHasNoBarriers(t *testing.T) {
+	top := topology.MustNew(topology.SmallConfig())
+	n := New(top, Options{Sequential: true, Workers: 8})
+	r := stats.NewRNG(7)
+	for i := 0; i < 600; i++ {
+		src := topology.ServerID(r.IntN(top.NumHosts()))
+		dst := topology.ServerID(r.IntN(top.NumHosts()))
+		n.After(Time(r.IntN(50))*time.Millisecond, func() {
+			n.StartFlow(src, dst, int64(1+r.IntN(8_000_000)), FlowTag{}, nil)
+		})
+	}
+	n.RunAll()
+	if n.BarrierWaits() != 0 {
+		t.Fatalf("sequential path crossed %d barriers", n.BarrierWaits())
+	}
+}

@@ -8,13 +8,16 @@
 // Packet-level artifacts the paper explicitly did not observe (incast
 // collapse) are modeled by their preconditions, not by simulating TCP.
 //
-// The simulator is single-goroutine and deterministic: all behaviour is a
-// pure function of the scheduled events and the seed of whatever workload
-// drives it.
+// The event loop itself is single-goroutine and deterministic: all
+// behaviour is a pure function of the scheduled events and the seed of
+// whatever workload drives it. Network optionally parallelizes the work
+// *inside* each allocation step across per-rack event domains (see
+// domain.go); by the three-rule determinism contract the results are
+// bit-identical at any worker count, so the parallel path preserves this
+// guarantee.
 package netsim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -30,25 +33,66 @@ type event struct {
 	fn  func()
 }
 
-// eventQueue is a min-heap over (at, seq).
-type eventQueue []*event
+// eventQueue is a min-heap over (at, seq), stored by value: Schedule
+// appends into the backing array instead of allocating a node per event,
+// so the steady-state cost of scheduling is a couple of sift swaps.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	q.siftUp(len(*q) - 1)
+}
+
+// pop removes and returns the minimum event. The vacated slot is zeroed
+// so the queue does not retain the callback closure.
+func (q *eventQueue) pop() event {
 	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+	n := len(old) - 1
+	e := old[0]
+	old[0] = old[n]
+	old[n] = event{}
+	*q = old[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
 	return e
+}
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
 }
 
 // Sim is the discrete-event core: a clock and an ordered event queue.
@@ -74,7 +118,7 @@ func (s *Sim) Schedule(at Time, fn func()) {
 	if at < s.now {
 		at = s.now
 	}
-	heap.Push(&s.queue, &event{at: at, seq: s.nextSeq, fn: fn})
+	s.queue.push(event{at: at, seq: s.nextSeq, fn: fn})
 	s.nextSeq++
 }
 
@@ -86,11 +130,10 @@ func (s *Sim) After(d Time, fn func()) { s.Schedule(s.now+d, fn) }
 func (s *Sim) Run(until Time) {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
-		e := s.queue[0]
-		if e.at > until {
+		if s.queue[0].at > until {
 			break
 		}
-		heap.Pop(&s.queue)
+		e := s.queue.pop()
 		s.now = e.at
 		s.processed++
 		e.fn()
@@ -104,7 +147,7 @@ func (s *Sim) Run(until Time) {
 func (s *Sim) RunAll() {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
 		s.now = e.at
 		s.processed++
 		e.fn()

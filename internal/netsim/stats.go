@@ -8,21 +8,26 @@ import (
 // tracked subset of links. These are the simulator's equivalent of SNMP
 // interface byte counters: congestion analysis derives utilization from
 // them, and tomography uses them as its only input.
+//
+// Storage is a dense per-link slice (indexed by LinkID, nil for
+// untracked links) rather than a map: the advance phase records links
+// concurrently from per-rack domain workers, and distinct slice slots
+// are safely disjoint where concurrent map writes — even to distinct
+// keys — are not.
 type LinkStats struct {
 	binSize Time
-	tracked []bool                        // indexed by LinkID
-	bytes   map[topology.LinkID][]float64 // bytes per bin
+	tracked []bool      // indexed by LinkID
+	bytes   [][]float64 // bytes per bin, indexed by LinkID; nil if untracked
 }
 
 func newLinkStats(binSize Time, numLinks int, links []topology.LinkID) *LinkStats {
 	s := &LinkStats{
 		binSize: binSize,
 		tracked: make([]bool, numLinks),
-		bytes:   make(map[topology.LinkID][]float64, len(links)),
+		bytes:   make([][]float64, numLinks),
 	}
 	for _, l := range links {
 		s.tracked[l] = true
-		s.bytes[l] = nil
 	}
 	return s
 }
@@ -69,7 +74,12 @@ func (s *LinkStats) record(id topology.LinkID, from, to Time, rateB float64) {
 
 // Bytes returns the per-bin byte counts of a link (shared slice; do not
 // modify). Untracked links return nil.
-func (s *LinkStats) Bytes(id topology.LinkID) []float64 { return s.bytes[id] }
+func (s *LinkStats) Bytes(id topology.LinkID) []float64 {
+	if int(id) >= len(s.bytes) {
+		return nil
+	}
+	return s.bytes[id]
+}
 
 // Bins reports the number of bins recorded so far across all links.
 func (s *LinkStats) Bins() int {
@@ -91,7 +101,7 @@ func (s *LinkStats) Utilization(id topology.LinkID, capacityBps float64, bins in
 	if capB <= 0 {
 		return out
 	}
-	for i, b := range s.bytes[id] {
+	for i, b := range s.Bytes(id) {
 		if i >= bins {
 			break
 		}
