@@ -18,7 +18,11 @@ vet:
 	fi
 
 # The determinism multichecker (cmd/dctlint): mapiter, walltime,
-# globalrand, floatsum over every package. See DESIGN.md, "Determinism".
+# globalrand, floatsum, plus the dataflow-backed parallel-contract
+# analyzers sharedslot, mergeorder, rngshare, over every package.
+# Stale //dctlint:ignore directives are findings too. CI runs the same
+# binary with -github for inline PR annotations; -json is available for
+# tooling. See DESIGN.md, "Determinism".
 lint:
 	$(GO) run ./cmd/dctlint ./...
 

@@ -6,28 +6,45 @@
 // a pure function of its seed; dctlint mechanically enforces the
 // invariants behind that (no map-order-dependent sinks, no wall-clock
 // reads in sim packages, no global rand, no scheduler-ordered float
-// reductions). See DESIGN.md, "Determinism".
+// reductions, and the three-rule parallel contract: task-derived
+// disjoint slots, fixed-order merges, per-task RNG streams). See
+// DESIGN.md, "Determinism".
 //
 // Usage:
 //
-//	go run ./cmd/dctlint [-list] [packages]
+//	go run ./cmd/dctlint [-list] [-json] [-github] [packages]
 //
 // With no package patterns it checks ./... relative to the current
-// directory, which must be inside the module. Exit status is 1 when any
-// finding survives //dctlint:ignore suppression.
+// directory, which must be inside the module. -json prints the findings
+// as a JSON array instead of text; -github prints GitHub Actions
+// workflow commands so findings surface as inline PR annotations. Exit
+// status is 1 when any finding survives //dctlint:ignore suppression.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dctraffic/internal/lint"
 )
 
+// finding is the stable JSON shape for one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions error annotations")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -50,7 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings := 0
+	var findings []finding
 	for _, pkg := range pkgs {
 		diags, err := lint.RunPackage(pkg, analyzers)
 		if err != nil {
@@ -60,14 +77,59 @@ func main() {
 			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
 				d.Pos.Filename = rel
 			}
-			fmt.Println(d)
-			findings++
+			findings = append(findings, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			switch {
+			case *asJSON:
+				// collected; printed as one array below
+			case *github:
+				fmt.Println(annotation(findings[len(findings)-1]))
+			default:
+				fmt.Println(d)
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "dctlint: %d finding(s)\n", findings)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dctlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// annotation renders one finding as a GitHub Actions workflow command:
+//
+//	::error file=F,line=L,col=C,title=dctlint/NAME::MESSAGE
+//
+// Property values and the message use the Actions escaping rules (%,
+// CR, LF; plus comma and colon inside properties).
+func annotation(f finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		escapeProp(f.File), f.Line, f.Column,
+		escapeProp("dctlint/"+f.Analyzer), escapeData(f.Message))
+}
+
+func escapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func escapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }
 
 func fatal(err error) {

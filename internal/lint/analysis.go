@@ -5,9 +5,12 @@
 // The paper's measurements are reproducible only because a simulation run
 // is a pure function of its seed: the same configuration must produce a
 // byte-identical trace on every run, on every machine, at every
-// GOMAXPROCS. The analyzers in this package (mapiter, walltime,
-// globalrand, floatsum) mechanically enforce the invariants that keep
-// that true. See DESIGN.md, "Determinism".
+// GOMAXPROCS. The analyzers in this package mechanically enforce the
+// invariants that keep that true: per-statement checks (mapiter,
+// walltime, globalrand) and dataflow-aware checks of the three-rule
+// parallel contract (floatsum, sharedslot, mergeorder, rngshare) built
+// on the goroutine-context tracker in goctx.go and the must-hold lock
+// analysis in cfg.go. See DESIGN.md, "Determinism".
 //
 // The framework mirrors go/analysis deliberately — Analyzer has the same
 // Name/Doc/Run shape, Pass carries the same per-package state — so that
@@ -71,5 +74,5 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full dctlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapIter, WallTime, GlobalRand, FloatSum}
+	return []*Analyzer{MapIter, WallTime, GlobalRand, FloatSum, SharedSlot, MergeOrder, RNGShare}
 }

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dctraffic/internal/lint"
+)
+
+// BenchmarkRunPackage times the analyzer suite — including the CFG,
+// capture, and goroutine-context dataflow layers — over the whole
+// module, with loading and type-checking hoisted out of the loop. This
+// is the analysis cost `make lint` adds on top of `go list` + type
+// checking; the dataflow layers are expected to keep it within ~2x of
+// the pre-dataflow suite.
+func BenchmarkRunPackage(b *testing.B) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := lint.Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pkg := range pkgs {
+			diags, err := lint.RunPackage(pkg, analyzers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(diags) != 0 {
+				b.Fatalf("repo must be lint-clean during the bench, got %v", diags)
+			}
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A lightweight intra-function control-flow graph over statements,
+// built for the must-hold lock analysis that mergeorder and sharedslot
+// use to tell a mutex-guarded merge from an unsynchronized write.
+//
+// Only "atomic" statements — assignments, expression statements,
+// declarations, sends, returns — are placed in blocks; compound
+// statements contribute edges. The graph is conservative where Go's
+// control flow is rich: loop conditions may exit at any iteration,
+// switches may match any case, labeled break/continue and goto simply
+// end their block without an edge (under-connecting the graph can only
+// grow the must-hold sets of unreachable joins, and the analysis
+// treats blocks with no predecessors as unreachable anyway — see the
+// TOP handling in mutexHeldAt).
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []int
+}
+
+type funcCFG struct {
+	blocks []*cfgBlock
+}
+
+type cfgBuilder struct {
+	g         *funcCFG
+	cur       int // current block, or -1 after a terminator
+	breaks    []int
+	continues []int
+	nextCase  int // fallthrough target, -1 outside switch bodies
+}
+
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}, nextCase: -1}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() int {
+	b.g.blocks = append(b.g.blocks, &cfgBlock{})
+	return len(b.g.blocks) - 1
+}
+
+func (b *cfgBuilder) edge(from, to int) {
+	if from >= 0 {
+		b.g.blocks[from].succs = append(b.g.blocks[from].succs, to)
+	}
+}
+
+func (b *cfgBuilder) emit(s ast.Stmt) {
+	if b.cur < 0 {
+		// Dead code after a terminator: give it a block with no
+		// predecessors so the analysis knows it is unreachable.
+		b.cur = b.newBlock()
+	}
+	blk := b.g.blocks[b.cur]
+	blk.stmts = append(blk.stmts, s)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if b.cur < 0 {
+			b.cur = b.newBlock()
+		}
+		head := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(head, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if b.cur < 0 {
+			b.cur = b.newBlock()
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		// Even a `for {}` gets the exit edge: a break may leave at any
+		// point and precision there is not worth the special case.
+		b.edge(head, after)
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, post)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = post
+		if s.Post != nil {
+			b.emit(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		if b.cur < 0 {
+			b.cur = b.newBlock()
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Assign != nil {
+			b.emit(s.Assign)
+		}
+		b.switchStmt(s.Init, s.Body)
+
+	case *ast.SelectStmt:
+		if b.cur < 0 {
+			b.cur = b.newBlock()
+		}
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, after)
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.emit(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label == nil && len(b.breaks) > 0 {
+				b.edge(b.cur, b.breaks[len(b.breaks)-1])
+			}
+		case token.CONTINUE:
+			if s.Label == nil && len(b.continues) > 0 {
+				b.edge(b.cur, b.continues[len(b.continues)-1])
+			}
+		case token.FALLTHROUGH:
+			if b.nextCase >= 0 {
+				b.edge(b.cur, b.nextCase)
+			}
+		}
+		b.cur = -1
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.cur = -1
+
+	default:
+		// Assignments, calls, declarations, sends, go/defer, inc/dec,
+		// empty statements: straight-line.
+		b.emit(s)
+	}
+}
+
+func (b *cfgBuilder) switchStmt(init ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		b.emit(init)
+	}
+	if b.cur < 0 {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	ids := make([]int, len(body.List))
+	for i := range body.List {
+		ids[i] = b.newBlock()
+		b.edge(head, ids[i])
+	}
+	b.breaks = append(b.breaks, after)
+	savedNext := b.nextCase
+	for i, cc := range body.List {
+		cc := cc.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.nextCase = -1
+		if i+1 < len(ids) {
+			b.nextCase = ids[i+1]
+		}
+		b.cur = ids[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.nextCase = savedNext
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+// ---- must-hold mutex dataflow ----
+
+// lockKey names one mutex value by its root object and spelled access
+// path, so `res.mu` and `other.mu` stay distinct while two mentions of
+// the same path unify.
+type lockKey struct {
+	obj  types.Object
+	path string
+}
+
+// mutexHeldAt computes, for every atomic statement in body, the set of
+// sync mutexes provably held on every path reaching it. Statements with
+// an empty set are absent from the map. The forward analysis joins by
+// intersection, initializing non-entry blocks to TOP (all locks) so
+// loops converge to the must-hold fixed point; nested function literals
+// are opaque (their bodies neither acquire nor release for the
+// enclosing frame at this level).
+func mutexHeldAt(pass *Pass, body *ast.BlockStmt) map[ast.Stmt][]lockKey {
+	// Cheap bail-out: no lock operations anywhere means no held sets.
+	any := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, _ := mutexOp(pass.Info, call); op == lockOp {
+				any = true
+			}
+		}
+		return !any
+	})
+	if !any {
+		return nil
+	}
+
+	g := buildCFG(body)
+	n := len(g.blocks)
+	preds := make([][]int, n)
+	for i, blk := range g.blocks {
+		for _, s := range blk.succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+
+	// in/out lock sets per block; top[i] marks TOP (unreachable so far).
+	inSet := make([]map[lockKey]bool, n)
+	outSet := make([]map[lockKey]bool, n)
+	inTop := make([]bool, n)
+	outTop := make([]bool, n)
+	for i := range inTop {
+		inTop[i] = i != 0
+		outTop[i] = true
+	}
+	inSet[0] = map[lockKey]bool{}
+
+	transfer := func(i int) (map[lockKey]bool, bool) {
+		if inTop[i] {
+			return nil, true
+		}
+		cur := make(map[lockKey]bool, len(inSet[i]))
+		for k := range inSet[i] {
+			cur[k] = true
+		}
+		for _, s := range g.blocks[i].stmts {
+			applyLockOps(pass, s, cur)
+		}
+		return cur, false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := range g.blocks {
+			if i != 0 {
+				newIn, newTop := joinPreds(preds[i], outSet, outTop)
+				if newTop != inTop[i] || !sameSet(newIn, inSet[i]) {
+					inSet[i], inTop[i] = newIn, newTop
+					changed = true
+				}
+			}
+			newOut, newTop := transfer(i)
+			if newTop != outTop[i] || !sameSet(newOut, outSet[i]) {
+				outSet[i], outTop[i] = newOut, newTop
+				changed = true
+			}
+		}
+	}
+
+	// Final pass: record each reachable statement's entry set.
+	held := make(map[ast.Stmt][]lockKey)
+	for i, blk := range g.blocks {
+		if inTop[i] {
+			continue
+		}
+		cur := make(map[lockKey]bool, len(inSet[i]))
+		for k := range inSet[i] {
+			cur[k] = true
+		}
+		for _, s := range blk.stmts {
+			if len(cur) > 0 {
+				keys := make([]lockKey, 0, len(cur))
+				for k := range cur {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a].path < keys[b].path })
+				held[s] = keys
+			}
+			applyLockOps(pass, s, cur)
+		}
+	}
+	return held
+}
+
+func joinPreds(preds []int, outSet []map[lockKey]bool, outTop []bool) (map[lockKey]bool, bool) {
+	first := true
+	var acc map[lockKey]bool
+	for _, p := range preds {
+		if outTop[p] {
+			continue
+		}
+		if first {
+			first = false
+			acc = make(map[lockKey]bool, len(outSet[p]))
+			for k := range outSet[p] {
+				acc[k] = true
+			}
+			continue
+		}
+		for k := range acc {
+			if !outSet[p][k] {
+				delete(acc, k)
+			}
+		}
+	}
+	if first {
+		return nil, true // all predecessors TOP (or none): unreachable
+	}
+	return acc, false
+}
+
+func sameSet(a, b map[lockKey]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLockOps updates the running lock set with the Lock/Unlock calls
+// in one atomic statement, without descending into function literals.
+func applyLockOps(pass *Pass, s ast.Stmt, cur map[lockKey]bool) {
+	// A deferred unlock releases at function exit, not here; a deferred
+	// lock would be bizarre. Either way defer does not change the set at
+	// the statements that follow.
+	if _, isDefer := s.(*ast.DeferStmt); isDefer {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, key := mutexOp(pass.Info, call)
+		switch op {
+		case lockOp:
+			cur[key] = true
+		case unlockOp:
+			delete(cur, key)
+		}
+		return true
+	})
+}
+
+type lockOpKind int
+
+const (
+	noOp lockOpKind = iota
+	lockOp
+	unlockOp
+)
+
+// mutexOp classifies a call as a sync lock acquire/release on a keyable
+// receiver. Resolution goes through the selection's method object, so
+// promoted methods of embedded sync.Mutex fields are recognized too.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockOpKind, lockKey) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return noOp, lockKey{}
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return noOp, lockKey{}
+	}
+	m, ok := s.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return noOp, lockKey{}
+	}
+	var op lockOpKind
+	switch m.Name() {
+	case "Lock", "RLock":
+		op = lockOp
+	case "Unlock", "RUnlock":
+		op = unlockOp
+	default:
+		return noOp, lockKey{}
+	}
+	obj := baseObject(info, sel.X)
+	if obj == nil {
+		return noOp, lockKey{}
+	}
+	return op, lockKey{obj: obj, path: exprString(sel.X)}
+}
+
+// heldCaptured filters the held set at the statement nearest the top of
+// stack down to mutexes captured from outside the context — the only
+// ones that can serialize cross-goroutine access. The scan stops at a
+// function-literal boundary: a write inside a nested literal does not
+// inherit its creation site's lock state.
+func heldCaptured(c *goContext, held map[ast.Stmt][]lockKey, stack []ast.Node) []lockKey {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok && lit != c.lit {
+			return nil
+		}
+		s, ok := stack[i].(ast.Stmt)
+		if !ok {
+			continue
+		}
+		keys, ok := held[s]
+		if !ok {
+			continue
+		}
+		var out []lockKey
+		for _, k := range keys {
+			if !c.owns(k.obj) {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parsePass type-checks one source file (stdlib imports allowed) and
+// returns a Pass suitable for driving the dataflow layers directly.
+func parsePass(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, Info: info}
+}
+
+// funcBody returns the body of the named top-level function.
+func funcBody(t *testing.T, pass *Pass, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range pass.Files[0].Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// locksAtWrites returns, for each assignment to the variable `x` in
+// body (source order), the mutex paths held there.
+func locksAtWrites(pass *Pass, body *ast.BlockStmt) [][]string {
+	held := mutexHeldAt(pass, body)
+	var out [][]string
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); !ok || id.Name != "x" {
+			return true
+		}
+		var paths []string
+		for _, k := range held[as] {
+			paths = append(paths, k.path)
+		}
+		out = append(out, paths)
+		return true
+	})
+	return out
+}
+
+const cfgSrc = `package p
+
+import "sync"
+
+type guarded struct {
+	sync.Mutex
+	n int
+}
+
+func straightLine(mu *sync.Mutex) {
+	x := 0
+	mu.Lock()
+	x = 1
+	mu.Unlock()
+	x = 2
+	_ = x
+}
+
+func branchRelease(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+	}
+	x := 3
+	_ = x
+}
+
+func bothBranchesHold(mu *sync.Mutex, cond bool) {
+	x := 0
+	if cond {
+		mu.Lock()
+	} else {
+		mu.Lock()
+	}
+	x = 1
+	mu.Unlock()
+	_ = x
+}
+
+func loopBody(mu *sync.Mutex, n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		x = i
+		mu.Unlock()
+	}
+	_ = x
+}
+
+func earlyReturn(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	x := 1
+	mu.Unlock()
+	_ = x
+}
+
+func embedded(g *guarded) {
+	g.Lock()
+	x := g.n
+	g.Unlock()
+	_ = x
+}
+
+func twoLocks(a, b *sync.Mutex) {
+	a.Lock()
+	b.Lock()
+	x := 1
+	b.Unlock()
+	x = 2
+	a.Unlock()
+	_ = x
+}
+`
+
+func TestMutexHeldAt(t *testing.T) {
+	pass := parsePass(t, cfgSrc)
+	cases := []struct {
+		fn   string
+		want [][]string
+	}{
+		// x := 0 before the lock, x = 1 inside, x = 2 after.
+		{"straightLine", [][]string{nil, {"mu"}, nil}},
+		// The conditional unlock kills the lock at the join.
+		{"branchRelease", [][]string{nil}},
+		// Both branches acquire: held at the join.
+		{"bothBranchesHold", [][]string{nil, {"mu"}}},
+		// Loop-carried state converges: held inside the critical section.
+		{"loopBody", [][]string{nil, {"mu"}}},
+		// The early-return path releases, the fallthrough path still holds.
+		{"earlyReturn", [][]string{{"mu"}}},
+		// Promoted methods of an embedded sync.Mutex are recognized.
+		{"embedded", [][]string{{"g"}}},
+		// Nested critical sections stack and unwind.
+		{"twoLocks", [][]string{{"a", "b"}, {"a"}}},
+	}
+	for _, tc := range cases {
+		got := locksAtWrites(pass, funcBody(t, pass, tc.fn))
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %d writes to x, want %d (%v)", tc.fn, len(got), len(tc.want), got)
+			continue
+		}
+		for i := range got {
+			if !equalStrings(got[i], tc.want[i]) {
+				t.Errorf("%s write %d: held %v, want %v", tc.fn, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

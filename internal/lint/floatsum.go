@@ -10,31 +10,35 @@ import (
 // scheduler-dependent:
 //
 //   - a += / -= / *= / /= (or ++/--) on a float variable captured from
-//     outside a goroutine body: even when a mutex makes the update
+//     outside a goroutine context: even when a mutex makes the update
 //     race-free, the *order* of the additions follows the scheduler,
-//     and float addition does not commute in rounding;
+//     and float addition does not commute in rounding. Contexts come
+//     from the goroutine tracker (goctx.go), so worker-pool task
+//     closures fed to runTasks count, not just `go func(){...}` bodies;
+//   - accumulation into a slot whose index is not task-derived
+//     (partial[0] += v from every instance is one shared accumulator
+//     wearing slot syntax);
 //   - float accumulation inside `for range ch` over a channel of
 //     floats: with more than one sender the receive order, and so the
 //     sum, is scheduler-dependent.
 //
-// The deterministic pattern is per-worker partial sums combined in a
-// fixed order after the goroutines join.
+// The deterministic pattern is per-task slots combined in a fixed order
+// after the goroutines join.
 var FloatSum = &Analyzer{
 	Name: "floatsum",
-	Doc:  "floating-point reduction in scheduler-dependent order (goroutine-shared accumulator or channel-fed sum)",
+	Doc:  "floating-point reduction in scheduler-dependent order (goroutine-shared accumulator, aliased slot, or channel-fed sum)",
 	Run:  runFloatSum,
 }
 
 func runFloatSum(pass *Pass) error {
+	idx := goroutineContexts(pass)
+	for _, c := range idx.ctxs {
+		checkFloatAccum(pass, idx, c)
+	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			switch s := n.(type) {
-			case *ast.GoStmt:
-				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-					checkGoroutineBody(pass, lit)
-				}
-			case *ast.RangeStmt:
-				checkChannelReduce(pass, s)
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				checkChannelReduce(pass, rs)
 			}
 			return true
 		})
@@ -42,10 +46,10 @@ func runFloatSum(pass *Pass) error {
 	return nil
 }
 
-// checkGoroutineBody reports float accumulation into variables captured
-// from outside the goroutine's function literal.
-func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+// checkFloatAccum reports float accumulation into state captured from
+// outside one goroutine context.
+func checkFloatAccum(pass *Pass, idx *goCtxIndex, c *goContext) {
+	idx.walkBody(c, func(n ast.Node, stack []ast.Node) bool {
 		var target ast.Expr
 		switch s := n.(type) {
 		case *ast.AssignStmt:
@@ -55,48 +59,27 @@ func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
 			}
 		case *ast.IncDecStmt:
 			target = s.X
-		case *ast.FuncLit:
-			// A nested literal has its own capture boundary for locals,
-			// but anything outside *this* literal is still shared, so
-			// keep descending: declaredWithin uses lit's range.
-			return true
 		}
 		if target == nil || !isFloat(pass.Info.TypeOf(target)) {
 			return true
 		}
-		// Indexed targets (partial[i] += v, slots[i].sum += v) are the
-		// per-goroutine-slot fix this analyzer recommends: each goroutine
-		// owns its slot and the slots are combined in a fixed order after
-		// the join. Peel field selectors so slot structs count too.
-		if hasIndexedBase(target) {
+		root, steps := lvalueSteps(pass, c, target)
+		if root == nil || c.fresh(root) || hasStep(steps, stepIndexTask) {
 			return true
 		}
-		obj := baseObject(pass.Info, target)
-		if obj == nil || declaredWithin(obj, lit) {
+		if hasIndexStep(steps) {
+			// A slot write with a non-task-derived index. One instance
+			// owning one fixed slot is the recommended pattern; many
+			// instances on the same slot is a shared accumulator in
+			// disguise.
+			if c.multi {
+				pass.Reportf(n.Pos(), "floating-point accumulation into aliased slot %s: every instance of this %s adds to the same element in scheduler order; derive the index from the task's own span/index parameters", exprString(target), c.kind)
+			}
 			return true
 		}
-		pass.Reportf(n.Pos(), "floating-point accumulation into captured %s inside a goroutine: reduction order follows the scheduler; keep per-goroutine partials and combine them in a fixed order", obj.Name())
+		pass.Reportf(n.Pos(), "floating-point accumulation into captured %s inside a goroutine: reduction order follows the scheduler; keep per-goroutine partials and combine them in a fixed order", root.Name())
 		return true
 	})
-}
-
-// hasIndexedBase reports whether e is an index expression, possibly
-// behind field selectors and parens: partial[i], slots[i].sum,
-// (slots[i]).stats.total. Dereferences (*p)[i] do not count — the
-// pointer may alias a single shared slot.
-func hasIndexedBase(e ast.Expr) bool {
-	for {
-		switch x := e.(type) {
-		case *ast.IndexExpr:
-			return true
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.ParenExpr:
-			e = x.X
-		default:
-			return false
-		}
-	}
 }
 
 // checkChannelReduce reports float accumulation driven by receives from

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// lookupVar resolves a package-level or function-local object by
+// walking the type info's Defs for the given name. Names are unique in
+// the fixtures below.
+func lookupVar(t *testing.T, pass *Pass, name string) types.Object {
+	t.Helper()
+	var found types.Object
+	for id, obj := range pass.Info.Defs {
+		if obj != nil && id.Name == name {
+			if found != nil {
+				t.Fatalf("fixture defines %q twice", name)
+			}
+			found = obj
+		}
+	}
+	if found == nil {
+		t.Fatalf("no definition of %q in fixture", name)
+	}
+	return found
+}
+
+const goctxSrc = `package p
+
+import "sync"
+
+type task struct {
+	fn func()
+}
+
+func runTasks(workers int, tasks []task) {
+	var wg sync.WaitGroup
+	claimed := make(chan int, len(tasks))
+	for i := range tasks {
+		claimed <- i
+	}
+	close(claimed)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range claimed {
+				tasks[i].fn()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// dispatch launders the task slice through a helper so the fixed-point
+// propagation, not just the direct call, must find the closures.
+func dispatch(ts []task) {
+	runTasks(2, ts)
+}
+
+func loopLaunch(items []int) {
+	captured := 0
+	for _, it := range items {
+		perIter := it
+		go func() {
+			local := perIter + captured
+			_ = local
+		}()
+	}
+}
+
+func singleLaunch(done chan int) {
+	go func() {
+		done <- 1
+	}()
+}
+
+func pooled(items []int) {
+	var ts []task
+	shared := 0
+	for _, elt := range items {
+		eltCopy := elt
+		ts = append(ts, task{fn: func() {
+			shared = shared + eltCopy
+		}})
+	}
+	dispatch(ts)
+}
+
+type svc struct {
+	n int
+}
+
+func (s *svc) work(wg *sync.WaitGroup) {
+	defer wg.Done()
+	s.n++
+}
+
+func methodPool(k int) {
+	s := &svc{}
+	var wg sync.WaitGroup
+	for g := 0; g < k; g++ {
+		wg.Add(1)
+		go s.work(&wg)
+	}
+	wg.Wait()
+}
+`
+
+// contextsByKind buckets the index for assertion convenience.
+func contextsByKind(idx *goCtxIndex) map[string][]*goContext {
+	out := make(map[string][]*goContext)
+	for _, c := range idx.ctxs {
+		out[c.kind] = append(out[c.kind], c)
+	}
+	return out
+}
+
+func TestGoroutineContexts(t *testing.T) {
+	pass := parsePass(t, goctxSrc)
+	idx := goroutineContexts(pass)
+	byKind := contextsByKind(idx)
+
+	// Four go-statement contexts: the pool worker in runTasks, the loop
+	// launch, the single launch, and the named-method launch. One task
+	// closure, found through the dispatch() indirection.
+	var goCtxs, taskCtxs, named []*goContext
+	for _, c := range byKind["goroutine"] {
+		if c.decl != nil {
+			named = append(named, c)
+		} else {
+			goCtxs = append(goCtxs, c)
+		}
+	}
+	taskCtxs = byKind["task closure"]
+	if len(goCtxs) != 3 || len(taskCtxs) != 1 || len(named) != 1 {
+		t.Fatalf("got %d go-stmt, %d task-closure, %d named contexts; want 3/1/1",
+			len(goCtxs), len(taskCtxs), len(named))
+	}
+
+	// multi: every looped launch is multi, the single launch is not.
+	multiCount := 0
+	for _, c := range goCtxs {
+		if c.multi {
+			multiCount++
+		}
+	}
+	if multiCount != 2 {
+		t.Errorf("want 2 multi go-stmt contexts (runTasks worker, loopLaunch), got %d", multiCount)
+	}
+	tc := taskCtxs[0]
+	if !tc.multi {
+		t.Error("task closure created inside a loop must be multi")
+	}
+
+	// Freshness inside the task closure: the shadowed per-iteration `it`
+	// is fresh, the captured accumulator `shared` is not.
+	if !tc.fresh(lookupVar(t, pass, "eltCopy")) {
+		t.Error("per-iteration redeclaration must be fresh in the task closure")
+	}
+	if tc.fresh(lookupVar(t, pass, "shared")) {
+		t.Error("captured outer accumulator must not be fresh")
+	}
+
+	// Freshness in the loop-launch context: loop-body locals are fresh,
+	// outer captures are not, and context-body locals are owned.
+	var loopCtx *goContext
+	for _, c := range goCtxs {
+		if c.multi && c.loop != nil && len(c.lit.Body.List) == 2 {
+			loopCtx = c
+		}
+	}
+	if loopCtx == nil {
+		t.Fatal("loopLaunch context not found")
+	}
+	if !loopCtx.fresh(lookupVar(t, pass, "perIter")) {
+		t.Error("loop-body declaration must be fresh for each goroutine instance")
+	}
+	if loopCtx.fresh(lookupVar(t, pass, "captured")) {
+		t.Error("pre-loop declaration must not be fresh")
+	}
+	if !loopCtx.owns(lookupVar(t, pass, "local")) {
+		t.Error("context-body local must be owned")
+	}
+
+	// The named method pool: launched in a loop with a receiver declared
+	// outside it, so it is multi and the receiver is shared (not owned).
+	nc := named[0]
+	if !nc.multi {
+		t.Error("method launched from a loop must be multi")
+	}
+	if nc.recvShared == nil {
+		t.Error("loop-invariant receiver must be marked shared")
+	} else if nc.owns(nc.recvShared) {
+		t.Error("a shared receiver must not count as context-owned")
+	}
+}

@@ -222,6 +222,12 @@ func exprString(e ast.Expr) string {
 	case *ast.SelectorExpr:
 		return exprString(x.X) + "." + x.Sel.Name
 	case *ast.IndexExpr:
+		switch i := x.Index.(type) {
+		case *ast.Ident:
+			return exprString(x.X) + "[" + i.Name + "]"
+		case *ast.BasicLit:
+			return exprString(x.X) + "[" + i.Value + "]"
+		}
 		return exprString(x.X) + "[...]"
 	case *ast.StarExpr:
 		return "*" + exprString(x.X)

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGShare flags one pseudo-random stream feeding more than one
+// goroutine instance. A shared *rand.Rand (or stats.RNG) makes the
+// draw sequence an interleaving chosen by the scheduler — the same
+// class of bug PR 1 and PR 6 solved with forked per-domain streams.
+// Three flows are recognized:
+//
+//   - capture: an RNG value used inside a goroutine context that is not
+//     fresh per instance (directly, through a struct field, or through
+//     a shared-index slot);
+//   - receiver field: a method launched as `go x.m(...)` on a shared
+//     receiver whose struct carries an RNG field;
+//   - channel: the same RNG variable sent repeatedly on a channel in a
+//     loop, handing one stream to every receiver.
+//
+// The fix is always the same shape: fork a child stream per task or
+// domain on the coordinator (stats.RNG.Fork) and hand each context its
+// own.
+var RNGShare = &Analyzer{
+	Name: "rngshare",
+	Doc:  "one RNG stream flows into more than one goroutine context (capture, struct field, or channel); fork per-task streams instead",
+	Run:  runRNGShare,
+}
+
+type rngUse struct {
+	ctx  *goContext
+	root types.Object
+	path string
+	pos  ast.Node
+	expr string
+}
+
+func runRNGShare(pass *Pass) error {
+	idx := goroutineContexts(pass)
+
+	// Captured-stream uses, grouped by (root, access path) so the
+	// canonical per-domain fix — rngs[i] with a task-derived i — groups
+	// nothing and passes.
+	var uses []rngUse
+	for _, c := range idx.ctxs {
+		c := c
+		skipSel := make(map[*ast.Ident]bool)
+		idx.walkBody(c, func(n ast.Node, stack []ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				// The whole selector is the use; its Sel identifier
+				// alone would double-count the same stream.
+				skipSel[sel.Sel] = true
+			}
+			e, ok := n.(ast.Expr)
+			if !ok || !isRNGType(pass.Info.TypeOf(e)) {
+				return true
+			}
+			switch x := e.(type) {
+			case *ast.Ident:
+				if skipSel[x] || pass.Info.Defs[x] != nil {
+					return true // a selection's field, or a declaration
+				}
+			case *ast.SelectorExpr, *ast.IndexExpr:
+			default:
+				return true // calls, composite literals: fresh values
+			}
+			root, steps := lvalueSteps(pass, c, e)
+			if root == nil || perInstanceRNG(c, root, steps) {
+				return true
+			}
+			uses = append(uses, rngUse{ctx: c, root: root, path: stepsPath(root, steps), pos: e, expr: exprString(e)})
+			return true
+		})
+	}
+	type rngKey struct {
+		root types.Object
+		path string
+	}
+	byPath := make(map[rngKey][]int)
+	for i, u := range uses {
+		byPath[rngKey{u.root, u.path}] = append(byPath[rngKey{u.root, u.path}], i)
+	}
+	for _, u := range uses {
+		shared := u.ctx.multi
+		for _, i := range byPath[rngKey{u.root, u.path}] {
+			if uses[i].ctx != u.ctx {
+				shared = true
+			}
+		}
+		if shared {
+			pass.Reportf(u.pos.Pos(), "RNG %s is shared across goroutine instances: the draw sequence follows the scheduler's interleaving; fork a per-task stream on the coordinator (stats.RNG.Fork) and capture that", u.expr)
+		}
+	}
+
+	// Shared receivers with RNG fields.
+	for _, c := range idx.ctxs {
+		if !c.multi || c.recvShared == nil {
+			continue
+		}
+		if name := rngFieldName(c.recvShared.Type()); name != "" {
+			pass.Reportf(c.site.Pos(), "goroutine-launched method shares receiver %s whose field %s is an RNG: every worker draws from one stream; fork per-worker streams (stats.RNG.Fork)", c.recvShared.Name(), name)
+		}
+	}
+
+	// The same RNG variable sent on a channel in a loop.
+	for _, file := range pass.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			s, ok := n.(*ast.SendStmt)
+			if !ok || !isRNGType(pass.Info.TypeOf(s.Value)) {
+				return true
+			}
+			switch ast.Unparen(s.Value).(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			default:
+				return true // a freshly constructed value per send
+			}
+			loop := innermostLoop(stack)
+			if loop == nil || exprVarsWithin(pass, s.Value, loop) {
+				return true
+			}
+			pass.Reportf(s.Pos(), "the same RNG %s is sent on a channel inside a loop: every receiver shares one stream; fork and send per-receiver streams (stats.RNG.Fork)", exprString(s.Value))
+			return true
+		})
+	}
+	return nil
+}
+
+// perInstanceRNG reports whether the RNG reached through this path is
+// distinct per context instance: the first index step decides (a
+// task-derived slot out of a captured pool is per-instance, a shared,
+// constant, or map index is one stream for everyone), and an index-free
+// path is per-instance only when its root is fresh.
+func perInstanceRNG(c *goContext, root types.Object, steps []writeStep) bool {
+	for _, s := range steps {
+		switch s.kind {
+		case stepIndexTask:
+			return true
+		case stepIndexShared, stepIndexConst, stepIndexMap:
+			return false
+		}
+	}
+	return c.fresh(root)
+}
+
+// stepsPath renders a stable grouping key for an access path.
+func stepsPath(root types.Object, steps []writeStep) string {
+	out := root.Name()
+	for _, s := range steps {
+		switch s.kind {
+		case stepField:
+			out += "." + s.name
+		case stepIndexConst:
+			out += "[" + s.name + "]"
+		case stepIndexTask:
+			out += "[task]"
+		default:
+			out += "[?]"
+		}
+	}
+	return out
+}
+
+// rngFieldName returns the name of the first RNG-typed field of the
+// struct underneath t (pointers peeled), or "".
+func rngFieldName(t types.Type) string {
+	n := namedRecv(t)
+	if n == nil {
+		return ""
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isRNGType(st.Field(i).Type()) {
+			return st.Field(i).Name()
+		}
+	}
+	return ""
+}

@@ -23,10 +23,12 @@ const ignorePrefix = "//dctlint:ignore"
 // gate is honoured here so the driver and tests see identical behaviour.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	directives, diags := collectDirectives(pkg, analyzers)
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 			continue
 		}
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -45,6 +47,20 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
 		}
+	}
+	// Stale-suppression audit: a directive whose analyzer ran on this
+	// package but silenced nothing is reported, so suppressions cannot
+	// outlive the code they excused. Directives for analyzers gated off
+	// by AppliesTo are left alone — this run cannot judge them.
+	for key, d := range directives {
+		if d.used || !ran[key.analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "dctlint",
+			Message:  fmt.Sprintf("stale suppression: no %s diagnostic on this line or the next; remove the directive", key.analyzer),
+		})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -70,13 +86,26 @@ type directiveKey struct {
 	analyzer string
 }
 
-type directiveSet map[directiveKey]bool
+// directiveState tracks one well-formed directive: where it sits and
+// whether it has silenced at least one diagnostic this run.
+type directiveState struct {
+	pos  token.Position
+	used bool
+}
+
+type directiveSet map[directiveKey]*directiveState
 
 // suppressed reports whether a diagnostic from analyzer at p is covered
-// by a directive on the same line or the line above.
+// by a directive on the same line or the line above, marking the
+// covering directive as used for the stale audit.
 func (d directiveSet) suppressed(analyzer string, p token.Position) bool {
-	return d[directiveKey{p.Filename, p.Line, analyzer}] ||
-		d[directiveKey{p.Filename, p.Line - 1, analyzer}]
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if s := d[directiveKey{p.Filename, line, analyzer}]; s != nil {
+			s.used = true
+			return true
+		}
+	}
+	return false
 }
 
 // collectDirectives scans every comment in the package for
@@ -113,7 +142,7 @@ func collectDirectives(pkg *Package, analyzers []*Analyzer) (directiveSet, []Dia
 						Message:  fmt.Sprintf("suppression of %s needs a reason: %s %s <reason>", fields[0], ignorePrefix, fields[0]),
 					})
 				default:
-					set[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
+					set[directiveKey{pos.Filename, pos.Line, fields[0]}] = &directiveState{pos: pos}
 				}
 			}
 		}

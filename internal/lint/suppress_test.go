@@ -89,6 +89,42 @@ func TestIgnoreDirectiveRequiresReason(t *testing.T) {
 	}
 }
 
+func TestStaleDirectiveReported(t *testing.T) {
+	src := `package p
+
+//dctlint:ignore mapiter leftover excuse for code that was deleted
+var x = 1
+`
+	diags := checkSource(t, src)
+	if len(diags) != 1 || diags[0].Analyzer != "dctlint" ||
+		!strings.Contains(diags[0].Message, "stale suppression: no mapiter diagnostic") {
+		t.Fatalf("want exactly one stale-suppression report, got %v", diags)
+	}
+}
+
+func TestUsedDirectiveNotStale(t *testing.T) {
+	src := strings.Replace(accumSrc, "%s",
+		"//dctlint:ignore mapiter order-insensitive threshold check", 1)
+	for _, d := range checkSource(t, src) {
+		if strings.Contains(d.Message, "stale suppression") {
+			t.Fatalf("directive suppresses a live finding; must not be stale: %v", d)
+		}
+	}
+}
+
+func TestStaleAuditSkipsGatedAnalyzers(t *testing.T) {
+	// walltime's AppliesTo gate keeps it off package "p", so this run
+	// cannot judge the directive and must not call it stale.
+	src := `package p
+
+//dctlint:ignore walltime covered when the gated analyzer runs
+var x = 1
+`
+	if diags := checkSource(t, src); len(diags) != 0 {
+		t.Fatalf("want no diagnostics for a gated analyzer's directive, got %v", diags)
+	}
+}
+
 func TestIgnoreDirectiveUnknownAnalyzer(t *testing.T) {
 	src := strings.Replace(accumSrc, "%s", "//dctlint:ignore nosuchcheck because", 1)
 	diags := checkSource(t, src)

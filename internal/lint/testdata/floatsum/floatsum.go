@@ -204,3 +204,103 @@ func suppressedOK(ch chan float64) float64 {
 	}
 	return total
 }
+
+// aliasedSlotNotOK regresses a former false negative: slot syntax used
+// to be accepted wholesale, but a non-task-derived index means every
+// goroutine adds to the same element in scheduler order.
+func aliasedSlotNotOK(parts [][]float64) float64 {
+	partial := make([]float64, len(parts))
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range p {
+				partial[0] += v // want "floating-point accumulation into aliased slot partial\[0\]"
+			}
+		}()
+	}
+	wg.Wait()
+	return partial[0]
+}
+
+// singleWriterFixedSlotOK: one goroutine owning one fixed slot is the
+// recommended pattern, constant index and all.
+func singleWriterFixedSlotOK(ps []float64) float64 {
+	partial := make([]float64, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range ps {
+			partial[0] += v // single instance: this slot has exactly one writer
+		}
+	}()
+	wg.Wait()
+	return partial[0]
+}
+
+// Pool plumbing for the task-closure cases below, mirroring
+// internal/core/parallel.go's runTasks.
+type task struct {
+	name string
+	fn   func()
+}
+
+func runTasks(workers int, tasks []task) {
+	var wg sync.WaitGroup
+	claimed := make(chan int, len(tasks))
+	for i := range tasks {
+		claimed <- i
+	}
+	close(claimed)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range claimed {
+				tasks[i].fn()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// taskClosureSumNotOK regresses the second former false negative: the
+// old analyzer only looked inside `go func(){...}` literals, so a
+// shared accumulator inside a pool-fed task closure slipped through.
+func taskClosureSumNotOK(parts [][]float64) float64 {
+	total := 0.0
+	var tasks []task
+	for _, p := range parts {
+		p := p
+		tasks = append(tasks, task{"sum", func() {
+			for _, v := range p {
+				total += v // want "floating-point accumulation into captured total"
+			}
+		}})
+	}
+	runTasks(4, tasks)
+	return total
+}
+
+// taskClosureSlotsOK: per-task slots written through the task's own
+// index stay clean under the same tracking.
+func taskClosureSlotsOK(parts [][]float64) float64 {
+	partial := make([]float64, len(parts))
+	var tasks []task
+	for j, p := range parts {
+		j, p := j, p
+		tasks = append(tasks, task{"slot", func() {
+			for _, v := range p {
+				partial[j] += v
+			}
+		}})
+	}
+	runTasks(4, tasks)
+	total := 0.0
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}

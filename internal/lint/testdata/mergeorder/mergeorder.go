@@ -1,0 +1,228 @@
+// Testdata for the mergeorder analyzer: merges must happen on one
+// goroutine in a fixed order. Mutexes and atomics make a merge
+// race-free, but its order still follows the scheduler — the
+// contract's rule 3 wants per-task slots folded after the join.
+package mergeorder
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type task struct {
+	name string
+	fn   func()
+}
+
+func runTasks(workers int, tasks []task) {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tasks[i].fn()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fixedOrderMergeOK is the contract's shape: per-task slots, folded on
+// the caller's goroutine in slot order after the pool joins.
+func fixedOrderMergeOK(items []int) int {
+	slots := make([]int, len(items))
+	var tasks []task
+	for j, it := range items {
+		j, it := j, it
+		tasks = append(tasks, task{"slot", func() {
+			slots[j] = it * it
+		}})
+	}
+	runTasks(4, tasks)
+	total := 0
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}
+
+// mutexMergeNotOK serializes the merge with a lock; the fold order is
+// still whatever the scheduler ran first.
+func mutexMergeNotOK(items []int) int {
+	var mu sync.Mutex
+	total := 0
+	var tasks []task
+	for _, it := range items {
+		it := it
+		tasks = append(tasks, task{"locked", func() {
+			mu.Lock()
+			total += it // want "update of captured total under mutex mu inside a task closure"
+			mu.Unlock()
+		}})
+	}
+	runTasks(4, tasks)
+	return total
+}
+
+// mutexAssignNotOK: a guarded plain overwrite is the same discipline
+// failure — the surviving value is scheduler-chosen.
+func mutexAssignNotOK(items []int) int {
+	var mu sync.Mutex
+	last := 0
+	var tasks []task
+	for _, it := range items {
+		it := it
+		tasks = append(tasks, task{"locked", func() {
+			mu.Lock()
+			last = it // want "update of captured last under mutex mu inside a task closure"
+			mu.Unlock()
+		}})
+	}
+	runTasks(4, tasks)
+	return last
+}
+
+// unlockedBranchNotOK: the lock analysis is path-sensitive — a write
+// after a conditional early unlock is guarded on no path that matters,
+// so it is a bare cross-goroutine accumulation.
+func unlockedBranchNotOK(items []int) int {
+	var mu sync.Mutex
+	count := 0
+	var tasks []task
+	for _, it := range items {
+		it := it
+		tasks = append(tasks, task{"branch", func() {
+			mu.Lock()
+			if it < 0 {
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			count++ // want "accumulation into captured count across goroutines"
+		}})
+	}
+	runTasks(4, tasks)
+	return count
+}
+
+// atomicReduceNotOK: atomics are race-free and still scheduler-ordered.
+func atomicReduceNotOK(items []int) int64 {
+	var sum atomic.Int64
+	var tasks []task
+	for _, it := range items {
+		it := it
+		tasks = append(tasks, task{"atomic", func() {
+			sum.Add(int64(it)) // want "atomic reduction into captured sum inside a task closure"
+		}})
+	}
+	runTasks(4, tasks)
+	return sum.Load()
+}
+
+// atomicPkgReduceNotOK: the package-function form of the same bug.
+func atomicPkgReduceNotOK(items []int) int64 {
+	var sum int64
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&sum, int64(it)) // want "atomic reduction into captured sum inside a goroutine"
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// claimProtocolOK: an atomic whose result is consumed is coordination —
+// the pool's task-claiming counter — not a merge.
+func claimProtocolOK(items []int, process func(int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				process(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// atomicSlotOK: per-slot atomics indexed by the task's own index are
+// disjoint and deterministic (the pool test's done-counter shape).
+func atomicSlotOK(n int) []int32 {
+	done := make([]int32, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt32(&done[i], 1)
+		}()
+	}
+	wg.Wait()
+	return done
+}
+
+// publishOnceOK: a single-instance goroutine storing a completion flag
+// is publication, not a reduction across instances.
+func publishOnceOK(run func()) *atomic.Bool {
+	var done atomic.Bool
+	go func() {
+		run()
+		done.Store(true)
+	}()
+	return &done
+}
+
+// storeRaceNotOK: the same store from every instance of a looped
+// goroutine is a scheduler-ordered merge of one slot.
+func storeRaceNotOK(n int) *atomic.Int64 {
+	var last atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last.Store(int64(i)) // want "atomic reduction into captured last inside a goroutine"
+		}()
+	}
+	wg.Wait()
+	return &last
+}
+
+// localLockOK: a mutex owned by the context guards nothing shared;
+// local accumulation under it is invisible outside the goroutine.
+func localLockOK(items []int, sink func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mu sync.Mutex
+			acc := 0
+			mu.Lock()
+			acc += it
+			mu.Unlock()
+			sink(acc)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,150 @@
+// Testdata for the rngshare analyzer: one pseudo-random stream must
+// never feed more than one goroutine instance. The clean shapes fork a
+// stream per task on the coordinator and hand each context its own —
+// the netsim/workload per-domain pattern.
+package rngshare
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// capturedStreamNotOK draws one captured stream from every goroutine.
+func capturedStreamNotOK(n int) []float64 {
+	r := rand.New(rand.NewSource(1))
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = r.Float64() // want "RNG r is shared across goroutine instances"
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// perTaskStreamOK is the canonical fix: fork per-task streams on the
+// coordinator, pick by the task's own index.
+func perTaskStreamOK(n int) []float64 {
+	rngs := make([]*rand.Rand, n)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(int64(i)))
+	}
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = rngs[i].Float64()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// aliasedStreamSlotNotOK wears slot syntax but every instance picks the
+// same element of the pool.
+func aliasedStreamSlotNotOK(n int) []float64 {
+	rngs := []*rand.Rand{rand.New(rand.NewSource(1))}
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = rngs[0].Float64() // want "RNG rngs\[0\] is shared across goroutine instances"
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// singleConsumerOK hands the whole stream to exactly one goroutine: one
+// reader, program-order draws.
+func singleConsumerOK(done chan<- float64) {
+	r := rand.New(rand.NewSource(1))
+	go func() {
+		done <- r.Float64()
+	}()
+}
+
+type worker struct {
+	rng *rand.Rand
+	out []float64
+}
+
+func (w *worker) run(wg *sync.WaitGroup, lo, hi int) {
+	defer wg.Done()
+	for i := lo; i < hi; i++ {
+		w.out[i] = w.rng.Float64() // want "RNG w.rng is shared across goroutine instances"
+	}
+}
+
+// sharedReceiverNotOK launches a method pool on one worker value: the
+// receiver's single stream feeds every goroutine.
+func sharedReceiverNotOK(n int) []float64 {
+	w := &worker{rng: rand.New(rand.NewSource(1)), out: make([]float64, 4*n)}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go w.run(&wg, g*n, (g+1)*n) // want "goroutine-launched method shares receiver w whose field rng is an RNG"
+	}
+	wg.Wait()
+	return w.out
+}
+
+type domainWorker struct {
+	rngs []*rand.Rand
+	out  []float64
+}
+
+func (d *domainWorker) run(wg *sync.WaitGroup, w, n int) {
+	defer wg.Done()
+	rng := d.rngs[w]
+	for i := 0; i < n; i++ {
+		d.out[w*n+i] = rng.Float64()
+	}
+}
+
+// forkedReceiverOK is the per-domain pattern: the pool of streams lives
+// on the receiver, each launch picks its own by parameter.
+func forkedReceiverOK(n int) []float64 {
+	d := &domainWorker{out: make([]float64, 4*n)}
+	for g := 0; g < 4; g++ {
+		d.rngs = append(d.rngs, rand.New(rand.NewSource(int64(g))))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go d.run(&wg, g, n)
+	}
+	wg.Wait()
+	return d.out
+}
+
+// channelShareNotOK sends one stream to every consumer.
+func channelShareNotOK(consumers int) chan *rand.Rand {
+	r := rand.New(rand.NewSource(1))
+	ch := make(chan *rand.Rand, consumers)
+	for i := 0; i < consumers; i++ {
+		ch <- r // want "the same RNG r is sent on a channel inside a loop"
+	}
+	close(ch)
+	return ch
+}
+
+// channelForkOK sends a freshly seeded stream per consumer.
+func channelForkOK(consumers int) chan *rand.Rand {
+	ch := make(chan *rand.Rand, consumers)
+	for i := 0; i < consumers; i++ {
+		ch <- rand.New(rand.NewSource(int64(i)))
+	}
+	close(ch)
+	return ch
+}

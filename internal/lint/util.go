@@ -74,6 +74,34 @@ func pkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return fn
 }
 
+// isPkgName reports whether id names an imported package.
+func isPkgName(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.ObjectOf(id).(*types.PkgName)
+	return ok
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes — package
+// function or method, through selector or plain identifier — or nil for
+// builtins, function-typed variables, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if s.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
 // methodCall returns the method name and receiver expression of call
 // when it is a method invocation (x.M(...)), else ("", nil).
 func methodCall(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
