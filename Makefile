@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short smoke-metrics bench bench-snapshot figures day paper-day clean
+.PHONY: all build vet lint test test-short smoke-metrics smoke-stream bench bench-snapshot figures day paper-day clean
 
 all: build vet lint test
 
@@ -35,7 +35,7 @@ lint:
 test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/netsim ./internal/sched
-	$(GO) test -race -run 'TestAnalyzeParallel' ./internal/core
+	$(GO) test -race -run 'TestAnalyzeParallel|TestAnalyzeStream' ./internal/core
 
 test-short:
 	$(GO) test -short ./...
@@ -48,6 +48,15 @@ smoke-metrics:
 	$(GO) run ./cmd/dcsim -duration 30m -drain 10m -progress \
 		-metrics smoke-metrics.json -out /dev/null
 	$(GO) run ./cmd/dcmetrics -require netsim.,cosmos.,scope.,trace.,runtime. smoke-metrics.json
+
+# Bounded-memory streaming smoke test: dcsim writes a short trace,
+# dcanalyze streams it through the sliding-window pipeline under a
+# GOMEMLIMIT soft target, and -max-heap-mb turns the peak live heap
+# into a hard assertion (the process exits nonzero on a breach).
+smoke-stream:
+	$(GO) run ./cmd/dcsim -duration 30m -drain 10m -out smoke-stream.jsonl
+	GOMEMLIMIT=64MiB $(GO) run ./cmd/dcanalyze -trace smoke-stream.jsonl \
+		-racks 8 -servers 10 -duration 30m -max-heap-mb 64 > /dev/null
 
 # One benchmark per paper table/figure plus ablations, and the
 # per-package infrastructure benchmarks (simulator, TM, trace, solver).
@@ -77,4 +86,4 @@ paper-day:
 	$(GO) run ./cmd/dcanalyze -paper -tsv figures-paper
 
 clean:
-	rm -rf figures figures-day figures-paper trace.jsonl smoke-metrics.json
+	rm -rf figures figures-day figures-paper trace.jsonl smoke-metrics.json smoke-stream.jsonl

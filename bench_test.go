@@ -7,6 +7,7 @@ package dctraffic
 // scaled-down simulations with one design decision removed.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -39,7 +40,11 @@ func benchSetup(b *testing.B) (*core.RunResult, *core.Report) {
 			panic(err)
 		}
 		benchRun = rr
-		benchRep = core.Analyze(rr, core.AnalyzeOptions{})
+		rep, err := core.AnalyzeRun(context.Background(), rr)
+		if err != nil {
+			panic(err)
+		}
+		benchRep = rep
 	})
 	b.ResetTimer()
 	return benchRun, benchRep

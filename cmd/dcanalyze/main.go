@@ -7,10 +7,17 @@
 //
 //	dcanalyze -racks 8 -servers 10 -duration 2h
 //
-// With -trace it analyzes a dcsim-written record file instead, producing
-// the record-only figures (2, 3, 4, 9, 10, 11):
+// With -trace it streams a dcsim-written record file (JSONL, optionally
+// .gz) through the bounded-memory pipeline instead, producing the
+// record-only figures (2, 3, 4, 9, 10, 11, incast) without ever
+// materializing the trace:
 //
 //	dcanalyze -trace trace.jsonl -racks 8 -servers 10 -duration 2h
+//
+// -mem-profile writes a heap profile captured at the sweep's peak
+// buffered-record window; -max-heap-mb makes dcanalyze exit nonzero if
+// the peak live heap exceeds the bound (GOMEMLIMIT is only a soft
+// target, so bounded-memory smoke tests need their own check).
 //
 // -heat additionally prints the Figure 2 ASCII heat map.
 package main
@@ -20,12 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"dctraffic"
-	"dctraffic/internal/flows"
-	"dctraffic/internal/tm"
 	"dctraffic/internal/topology"
 )
 
@@ -34,7 +41,7 @@ func main() {
 	servers := flag.Int("servers", 10, "servers per rack")
 	duration := flag.Duration("duration", 2*time.Hour, "instrumented window")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	traceFile := flag.String("trace", "", "analyze this dcsim trace instead of simulating")
+	traceFile := flag.String("trace", "", "stream this dcsim trace through the analysis instead of simulating")
 	heat := flag.Bool("heat", false, "print the Figure 2 ASCII heat map")
 	tsvDir := flag.String("tsv", "", "also write every figure's data series as TSV files into this directory")
 	paper := flag.Bool("paper", false, "use the paper-scale configuration (75 racks x 20 servers, 24h)")
@@ -42,46 +49,37 @@ func main() {
 	parallel := flag.Int("parallel", 0, "analysis worker goroutines (0 = GOMAXPROCS); results are identical at any setting")
 	seq := flag.Bool("seq", false, "run the analysis pipeline on a single worker (same results, no concurrency)")
 	progress := flag.Bool("progress", false, "report simulation progress, per-stage analysis timings and tomography solver effort on stderr")
+	memProfile := flag.String("mem-profile", "", "write a heap profile captured at the peak buffered-record window")
+	maxHeapMB := flag.Int("max-heap-mb", 0, "exit nonzero if the peak live heap exceeds this many MiB (0 = no check)")
 	flag.Parse()
 
-	if *traceFile != "" {
-		analyzeTrace(*traceFile, *racks, *servers, *duration, *heat)
-		return
+	aopts := []dctraffic.AnalyzeOption{dctraffic.WithAnalyzeParallelism(*parallel)}
+	if *seq {
+		aopts = append(aopts, dctraffic.WithAnalyzeSequential())
+	}
+	var reg *dctraffic.Registry
+	if *progress {
+		reg = dctraffic.NewRegistry()
+		aopts = append(aopts, dctraffic.WithAnalyzeObserver(reg))
+	}
+	hw := &heapWatch{profilePath: *memProfile, verbose: *progress}
+	if *memProfile != "" || *maxHeapMB > 0 || *progress {
+		aopts = append(aopts, dctraffic.WithAnalyzeProgress(hw.observe))
 	}
 
-	cfg := dctraffic.SmallRun()
-	if *paper {
-		cfg = dctraffic.PaperRun()
+	var rep *dctraffic.Report
+	var err error
+	if *traceFile != "" {
+		rep, err = analyzeTrace(*traceFile, *racks, *servers, *duration, aopts)
 	} else {
-		cfg.Topology.Racks = *racks
-		cfg.Topology.ServersPerRack = *servers
-		cfg.Duration = *duration
-		cfg.Sched.JobsPerHour = 150 * float64(*racks**servers) / 80
+		rep, err = simulateAndAnalyze(*paper, *racks, *servers, *duration, *seed, *progress, aopts)
 	}
-	cfg.Seed = *seed
-	cfg.Sched.Seed = *seed
-	var runOpts []dctraffic.RunOption
-	if *progress {
-		runOpts = append(runOpts, dctraffic.WithProgress(func(p dctraffic.Progress) {
-			fmt.Fprintf(os.Stderr, "\rsim %3.0f%%  t=%v  events=%d  records=%d",
-				100*p.Frac(), p.SimTime, p.Events, p.Records)
-			if p.Frac() >= 1 {
-				fmt.Fprintln(os.Stderr)
-			}
-		}))
-	}
-	rr, err := dctraffic.Run(context.Background(), cfg, runOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
 		os.Exit(1)
 	}
-	aopts := dctraffic.AnalyzeOptions{Parallelism: *parallel, Sequential: *seq}
-	var reg *dctraffic.Registry
-	if *progress {
-		reg = dctraffic.NewRegistry()
-		aopts.Observer = reg
-	}
-	rep := dctraffic.Analyze(rr, aopts)
+	hw.finish()
+
 	if reg != nil {
 		snap := reg.Snapshot()
 		for _, ph := range snap.Phases {
@@ -104,6 +102,7 @@ func main() {
 			}
 		}
 	}
+
 	if *jsonOut {
 		data, err := rep.JSON()
 		if err != nil {
@@ -125,59 +124,131 @@ func main() {
 		fmt.Println("\n== Fig 2 heat map (loge bytes, rows=src, cols=dst) ==")
 		fmt.Print(dctraffic.HeatASCII(rep.Fig2.TM, 60))
 	}
+	if *maxHeapMB > 0 {
+		peakMB := hw.peakHeap >> 20
+		fmt.Fprintf(os.Stderr, "peak live heap: %d MiB (limit %d MiB)\n", peakMB, *maxHeapMB)
+		if peakMB > uint64(*maxHeapMB) {
+			fmt.Fprintf(os.Stderr, "dcanalyze: peak heap exceeded -max-heap-mb\n")
+			os.Exit(1)
+		}
+	}
 }
 
-// analyzeTrace covers the figures computable from flow records alone.
-func analyzeTrace(path string, racks, servers int, duration time.Duration, heat bool) {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
-		os.Exit(1)
+// simulateAndAnalyze is the default path: fresh run, full figure set.
+func simulateAndAnalyze(paper bool, racks, servers int, duration time.Duration, seed uint64, progress bool, aopts []dctraffic.AnalyzeOption) (*dctraffic.Report, error) {
+	cfg := dctraffic.SmallRun()
+	if paper {
+		cfg = dctraffic.PaperRun()
+	} else {
+		cfg.Topology.Racks = racks
+		cfg.Topology.ServersPerRack = servers
+		cfg.Duration = duration
+		cfg.Sched.JobsPerHour = 150 * float64(racks*servers) / 80
 	}
-	defer f.Close()
-	records, err := dctraffic.ReadTrace(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
-		os.Exit(1)
+	cfg.Seed = seed
+	cfg.Sched.Seed = seed
+	var runOpts []dctraffic.RunOption
+	if progress {
+		runOpts = append(runOpts, dctraffic.WithProgress(func(p dctraffic.Progress) {
+			fmt.Fprintf(os.Stderr, "\rsim %3.0f%%  t=%v  events=%d  records=%d",
+				100*p.Frac(), p.SimTime, p.Events, p.Records)
+			if p.Frac() >= 1 {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
 	}
+	rr, err := dctraffic.Run(context.Background(), cfg, runOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return dctraffic.AnalyzeRun(context.Background(), rr, aopts...)
+}
+
+// analyzeTrace streams a trace file through the bounded-memory pipeline:
+// records flow from the file source straight into the sweep's sliding
+// window and online accumulators, so memory stays O(window) no matter
+// how long the trace is. Run-only figures (5-8, tomography,
+// attribution) stay zero.
+func analyzeTrace(path string, racks, servers int, duration time.Duration, aopts []dctraffic.AnalyzeOption) (*dctraffic.Report, error) {
 	cfg := topology.SmallConfig()
 	cfg.Racks = racks
 	cfg.ServersPerRack = servers
-	top, err := topology.New(cfg)
+	top, err := dctraffic.NewTopology(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	fmt.Printf("records: %d over %v\n\n", len(records), duration)
+	src, err := dctraffic.OpenTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	aopts = append(aopts,
+		dctraffic.WithAnalyzeTopology(top),
+		dctraffic.WithAnalyzeDuration(duration),
+	)
+	return dctraffic.AnalyzeSource(context.Background(), src, aopts...)
+}
 
-	mid := duration / 2
-	m := tm.ServerMatrix(records, top.NumHosts(), mid, mid+100*time.Second)
-	ps := tm.SummarizePatterns(m, top)
-	fmt.Printf("== Fig 2 patterns (100s mid-run window) ==\n")
-	fmt.Printf("  within-rack share: %.2f  within-VLAN: %.2f  external: %.3f  scatter rows: %d\n",
-		ps.WithinRackFraction, ps.WithinVLANFraction, ps.ExternalFraction, ps.ScatterGatherRows)
-	es := tm.ComputeEntryStats(m, top)
-	fmt.Printf("== Fig 3 ==\n  P(zero|rack)=%.3f  P(zero|cross)=%.4f\n", es.PZeroWithinRack, es.PZeroAcrossRack)
-	cs := tm.ComputeCorrespondents(m, top)
-	fmt.Printf("== Fig 4 ==\n  median correspondents: %.1f within, %.1f across\n",
-		cs.MedianWithinCount, cs.MedianAcrossCount)
-	s := flows.Summarize(records, duration)
-	fmt.Printf("== Fig 9 ==\n  flows=%d  P(<10s)=%.3f  P(>200s)=%.4f  bytes≤25s=%.2f\n",
-		s.NumFlows, s.FracShorterThan10s, s.FracLongerThan200s, s.BytesInFlowsUnder25s)
-	series := tm.ServerSeries(records, top.NumHosts(), 10*time.Second, duration)
-	ch := tm.ChangeSeries(series, 1)
-	var nz []float64
-	for _, c := range ch {
-		if c != 0 {
-			nz = append(nz, c)
+// heapWatch samples the live heap as the sweep's buffered-record count
+// grows, capturing a heap profile at the high-water mark. Sampling only
+// on ~10% peak growth keeps the ReadMemStats/GC cost to O(log peak)
+// stops, not one per window boundary.
+type heapWatch struct {
+	profilePath  string
+	verbose      bool
+	sampledPeak  int
+	peakHeap     uint64
+	lastProgress time.Time
+}
+
+func (h *heapWatch) observe(p dctraffic.StreamProgress) {
+	if h.verbose && time.Since(h.lastProgress) > 200*time.Millisecond {
+		h.lastProgress = time.Now()
+		pct := 0.0
+		if p.Duration > 0 {
+			pct = 100 * float64(p.Time) / float64(p.Duration)
+			if pct > 100 {
+				pct = 100
+			}
 		}
+		fmt.Fprintf(os.Stderr, "\ranalyze %3.0f%%  records=%d  buffered=%d  peak=%d",
+			pct, p.Records, p.Buffered, p.PeakBuffered)
 	}
-	fmt.Printf("== Fig 10 ==\n  change samples=%d\n", len(nz))
-	gaps := flows.ServerInterArrivals(records, top)
-	fmt.Printf("== Fig 11 ==\n  arrival rate=%.0f/s  server mode=%.1f ms\n",
-		flows.ArrivalRatePerSec(records, duration), flows.ModeSpacing(gaps, 2, 100, 196))
-	if heat {
-		fmt.Println("\n== Fig 2 heat map ==")
-		fmt.Print(dctraffic.HeatASCII(m, 60))
+	if p.PeakBuffered <= h.sampledPeak+h.sampledPeak/10 {
+		return
+	}
+	h.sampledPeak = p.PeakBuffered
+	h.sample()
+}
+
+// sample records the current live heap and refreshes the peak profile.
+func (h *heapWatch) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc <= h.peakHeap {
+		return
+	}
+	h.peakHeap = ms.HeapAlloc
+	if h.profilePath == "" {
+		return
+	}
+	f, err := os.Create(h.profilePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcanalyze: mem-profile:", err)
+		return
+	}
+	runtime.GC() // heap profiles reflect the last GC cycle
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "dcanalyze: mem-profile:", err)
+	}
+	f.Close()
+}
+
+// finish takes a final sample (the peak may be after the last window)
+// and ends the progress line.
+func (h *heapWatch) finish() {
+	h.sample()
+	if h.verbose && !h.lastProgress.IsZero() {
+		fmt.Fprintln(os.Stderr)
 	}
 }

@@ -12,7 +12,8 @@
 //	rr, err := dctraffic.Run(ctx, dctraffic.SmallRun(),
 //		dctraffic.WithProgress(func(p dctraffic.Progress) { ... }))
 //	if err != nil { ... }
-//	report := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
+//	report, err := dctraffic.AnalyzeRun(ctx, rr)
+//	if err != nil { ... }
 //	fmt.Println(report.Text())
 //
 // Run is context-aware (cancellation is honored at event-loop batch
@@ -20,6 +21,11 @@
 // snapshot of every netsim/cosmos/scope/trace series plus wall-clock
 // phase timings, and WithProgress / WithMetricsSink / WithObserver tune
 // what is reported where. Simulate is the options-free shorthand.
+//
+// Analysis takes the same functional-option shape: AnalyzeRun for a
+// completed run, AnalyzeSource for a trace file streamed in bounded
+// memory (see OpenTraceFile), with WithAnalyzeParallelism,
+// WithInactivityTimeout and friends tuning the figures.
 //
 // The Report contains one field per figure in the paper; EXPERIMENTS.md
 // records paper-vs-measured values. For standalone synthetic traffic
@@ -48,7 +54,20 @@ type (
 	// RunResult carries the simulated cluster and its collected logs.
 	RunResult = core.RunResult
 	// AnalyzeOptions tunes the per-figure analyses.
+	//
+	// Deprecated: pass AnalyzeOption values to AnalyzeRun/AnalyzeSource
+	// instead.
 	AnalyzeOptions = core.AnalyzeOptions
+	// AnalyzeOption configures AnalyzeRun/AnalyzeSource (see the WithX
+	// analysis options below).
+	AnalyzeOption = core.AnalyzeOption
+	// StreamProgress reports the streaming analysis sweep's position and
+	// buffered-record high-water mark (see WithAnalyzeProgress).
+	StreamProgress = core.StreamProgress
+	// TraceSource is a canonical-order stream of flow records —
+	// AnalyzeSource's input. RunResult.Source and OpenTraceFile return
+	// implementations.
+	TraceSource = trace.Source
 	// Report holds regenerated data for every figure of the paper.
 	Report = core.Report
 
@@ -135,14 +154,77 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // `dcsim -metrics` format).
 func ReadMetrics(r io.Reader) (*MetricsSnapshot, error) { return obs.ReadSnapshot(r) }
 
-// Analyze regenerates every figure of the paper from a run. The
-// analysis pipeline runs figure computations concurrently (see
-// AnalyzeOptions.Parallelism); results are bit-identical at any
+// AnalyzeRun regenerates every figure of the paper from a run. The
+// pipeline streams the run's records through the same bounded-memory
+// sweep AnalyzeSource uses and runs figure computations concurrently
+// (see WithAnalyzeParallelism); results are bit-identical at any
 // parallelism.
+func AnalyzeRun(ctx context.Context, rr *RunResult, opts ...AnalyzeOption) (*Report, error) {
+	return core.AnalyzeRun(ctx, rr, opts...)
+}
+
+// AnalyzeSource regenerates the record-derived figures from a flow
+// stream in bounded memory — the entry point for analyzing written-out
+// traces too big to materialize. Requires WithAnalyzeTopology and
+// WithAnalyzeDuration (AnalyzeRun fills both from the run).
+func AnalyzeSource(ctx context.Context, src TraceSource, opts ...AnalyzeOption) (*Report, error) {
+	return core.AnalyzeSource(ctx, src, opts...)
+}
+
+// OpenTraceFile opens a JSONL (optionally gzip-compressed) flow trace as
+// a TraceSource for AnalyzeSource, sorting out-of-order records through
+// bounded-memory spill files rather than loading the trace. Close it
+// when done.
+func OpenTraceFile(path string) (*trace.FileSource, error) {
+	return trace.OpenFile(path, trace.FileOptions{})
+}
+
+// WithAnalyzeTopology supplies the cluster topology for run-less
+// (trace file) analysis.
+func WithAnalyzeTopology(top *topology.Topology) AnalyzeOption { return core.WithTopology(top) }
+
+// WithAnalyzeDuration supplies the trace horizon for run-less analysis.
+func WithAnalyzeDuration(d Time) AnalyzeOption { return core.WithDuration(d) }
+
+// WithAnalyzeParallelism bounds the analysis worker goroutines
+// (0 = GOMAXPROCS). Any value yields bit-identical results.
+func WithAnalyzeParallelism(n int) AnalyzeOption { return core.WithParallelism(n) }
+
+// WithAnalyzeSequential forces the single-goroutine reference path.
+func WithAnalyzeSequential() AnalyzeOption { return core.WithSequential() }
+
+// WithAnalyzeObserver attaches a metrics registry to the analysis
+// pipeline.
+func WithAnalyzeObserver(reg *Registry) AnalyzeOption { return core.WithAnalysisObserver(reg) }
+
+// WithInactivityTimeout applies the §3 flow-boundary methodology before
+// the flow-level analyses.
+func WithInactivityTimeout(d Time) AnalyzeOption { return core.WithInactivityTimeout(d) }
+
+// WithCDFSampleCap bounds each whole-run CDF's exact sample count
+// before it degrades to a bounded-error quantile sketch; negative keeps
+// every CDF exact.
+func WithCDFSampleCap(n int) AnalyzeOption { return core.WithCDFSampleCap(n) }
+
+// WithAnalyzeProgress delivers a StreamProgress report at every window
+// boundary of the streaming sweep.
+func WithAnalyzeProgress(fn func(StreamProgress)) AnalyzeOption {
+	return core.WithStreamProgress(fn)
+}
+
+// NewTopology builds the cluster fabric for WithAnalyzeTopology.
+func NewTopology(cfg TopologyConfig) (*topology.Topology, error) { return topology.New(cfg) }
+
+// Analyze regenerates every figure of the paper from a run.
+//
+// Deprecated: use AnalyzeRun with functional options; this shim routes
+// through the same streaming pipeline and is bit-identical.
 func Analyze(rr *RunResult, opts AnalyzeOptions) *Report { return core.Analyze(rr, opts) }
 
-// AnalyzeContext is Analyze with cancellation: it stops between pipeline
-// tasks when ctx is canceled and reports the cancellation as an error.
+// AnalyzeContext is Analyze with cancellation.
+//
+// Deprecated: use AnalyzeRun, which takes the same knobs as functional
+// options.
 func AnalyzeContext(ctx context.Context, rr *RunResult, opts AnalyzeOptions) (*Report, error) {
 	return core.AnalyzeContext(ctx, rr, opts)
 }

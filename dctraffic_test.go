@@ -2,6 +2,7 @@ package dctraffic
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 )
@@ -14,12 +15,26 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := Analyze(rr, AnalyzeOptions{})
+	var peak int
+	rep, err := AnalyzeRun(context.Background(), rr,
+		WithAnalyzeProgress(func(p StreamProgress) { peak = p.PeakBuffered }))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Fig9.Summary.NumFlows == 0 {
 		t.Fatal("no flows analyzed")
 	}
 	if rep.Text() == "" {
 		t.Fatal("empty report text")
+	}
+	if peak <= 0 {
+		t.Fatal("no streaming progress delivered")
+	}
+	// The deprecated struct-options shim must agree with the
+	// functional-options pipeline it wraps.
+	if legacy := Analyze(rr, AnalyzeOptions{}); legacy.Fig9.Summary != rep.Fig9.Summary {
+		t.Fatalf("deprecated Analyze shim diverged: %+v != %+v",
+			legacy.Fig9.Summary, rep.Fig9.Summary)
 	}
 }
 

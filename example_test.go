@@ -2,6 +2,7 @@ package dctraffic_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -18,7 +19,10 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	rep := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
+	rep, err := dctraffic.AnalyzeRun(context.Background(), rr)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("most flows under 10s:", rep.Fig9.Summary.FracShorterThan10s > 0.8)
 	fmt.Println("connection cap:", rep.Incast.MaxSimultaneousConnections)
 	// Output:

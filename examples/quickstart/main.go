@@ -36,7 +36,10 @@ func main() {
 	}
 	fmt.Println()
 
-	rep := dctraffic.Analyze(rr, dctraffic.AnalyzeOptions{})
+	rep, err := dctraffic.AnalyzeRun(context.Background(), rr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Print(rep.Text())
 
 	fmt.Println("\nFigure 2 heat map (rows = senders, cols = receivers, loge bytes):")

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
+
+	"dctraffic/internal/trace"
 )
 
 // benchSim memoizes one shortened simulation shared by the analyze
@@ -34,7 +39,9 @@ func BenchmarkAnalyzeSmall(b *testing.B) {
 	rr := benchSim(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Analyze(rr, AnalyzeOptions{Sequential: true})
+		if _, err := AnalyzeRun(context.Background(), rr, WithSequential()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -45,6 +52,41 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	rr := benchSim(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Analyze(rr, AnalyzeOptions{})
+		if _, err := AnalyzeRun(context.Background(), rr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeStream times the bounded-memory path: the same
+// records streamed from a trace file through AnalyzeSource, including
+// the JSONL decode the file source pays per iteration. ReportAllocs
+// makes the O(window) footprint visible next to the in-memory runs.
+func BenchmarkAnalyzeStream(b *testing.B) {
+	rr := benchSim(b)
+	path := filepath.Join(b.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, rr.Records()); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := trace.OpenFile(path, trace.FileOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = AnalyzeSource(context.Background(), src,
+			WithTopology(rr.Top), WithDuration(rr.Config.Duration))
+		src.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -8,6 +9,17 @@ import (
 
 	"dctraffic/internal/stats"
 )
+
+// mustAnalyze runs the functional-options pipeline and fails the test on
+// error — the test-side replacement for the deprecated Analyze shim.
+func mustAnalyze(tb testing.TB, rr *RunResult, opts ...AnalyzeOption) *Report {
+	tb.Helper()
+	rep, err := AnalyzeRun(context.Background(), rr, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rep
+}
 
 // sharedRun memoizes one small simulation + analysis across tests.
 var (
@@ -25,7 +37,7 @@ func smallRun(t *testing.T) (*RunResult, *Report) {
 		cfg.DrainTime = 20 * time.Minute
 		sharedRes, runErr = Simulate(cfg)
 		if runErr == nil {
-			sharedRep = Analyze(sharedRes, AnalyzeOptions{})
+			sharedRep, runErr = AnalyzeRun(context.Background(), sharedRes)
 		}
 	})
 	if runErr != nil {
@@ -46,7 +58,7 @@ func TestSameSeedIdenticalDigest(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j, err := Analyze(rr, AnalyzeOptions{}).JSON()
+		j, err := mustAnalyze(t, rr).JSON()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +82,7 @@ func TestIncrementalAllocatorMatchesFullDigest(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j, err := Analyze(rr, AnalyzeOptions{}).JSON()
+		j, err := mustAnalyze(t, rr).JSON()
 		if err != nil {
 			t.Fatal(err)
 		}

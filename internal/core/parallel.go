@@ -106,18 +106,93 @@ func shardRanges(n, target, maxShards int) [][2]int {
 
 // recordShardTarget sizes record shards (Fig 7 join, attribution,
 // Fig 9 CDFs): big enough that per-shard overhead is noise, small
-// enough that a paper-scale run (~2M records) fans out well.
+// enough that a paper-scale run (~2M records) fans out well. The
+// streaming pipeline uses the same constant as its chunk size, so at
+// trace scale a chunk task costs the same as a shard task did.
 const recordShardTarget = 1 << 17
 
 // maxRecordShards bounds the fan-out (and the slot arrays).
 const maxRecordShards = 32
 
-// tomoChainTarget sizes tomography chains: each chain walks a
-// contiguous run of TM windows through one warm-started estimator, so
-// longer chains amortize more cold simplex solves while more chains
-// expose more parallelism. Eight windows per chain fans a paper-scale
-// day (144 windows) out 18 ways with only one cold solve per chain.
-const tomoChainTarget = 8
+// streamPool runs figure-window and record-chunk tasks for the
+// streaming pipeline. Unlike runTasks it accepts work incrementally —
+// tasks are submitted as the sweep closes windows — but the same
+// three-rule contract applies: every submitted task writes one
+// pre-sized slot, and the coordinator merges completed slots in
+// submission order via the per-task done channels (the "ready prefix"),
+// never in completion order. The task channel's small buffer is the
+// pipeline's backpressure: a slow pool blocks the sweep, bounding
+// in-flight window copies and unmerged slots by O(workers), which is
+// what keeps streaming analysis memory O(window).
+type streamPool struct {
+	ctx    context.Context
+	seq    bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+	failed atomic.Pointer[poolPanic]
+	waited bool
+}
 
-// maxTomoChains bounds the tomography fan-out (and estimator count).
-const maxTomoChains = 32
+// poolPanic boxes the first task panic for re-raising on the caller.
+type poolPanic struct{ val any }
+
+// newStreamPool starts workers goroutines (none when workers <= 1:
+// submit then runs tasks inline, the sequential reference path).
+func newStreamPool(ctx context.Context, workers int) *streamPool {
+	p := &streamPool{ctx: ctx}
+	if workers <= 1 {
+		p.seq = true
+		return p
+	}
+	p.tasks = make(chan func(), workers)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// submit schedules fn and returns a channel closed when it has run (or
+// been skipped after cancellation/panic — the channel always closes, so
+// ready-prefix merges never wedge). Blocks when the pool is saturated.
+func (p *streamPool) submit(fn func()) <-chan struct{} {
+	done := make(chan struct{})
+	wrapped := func() {
+		defer close(done)
+		defer func() {
+			if v := recover(); v != nil {
+				p.failed.CompareAndSwap(nil, &poolPanic{val: v})
+			}
+		}()
+		if p.ctx.Err() == nil && p.failed.Load() == nil {
+			fn()
+		}
+	}
+	if p.seq {
+		wrapped()
+	} else {
+		p.tasks <- wrapped
+	}
+	return done
+}
+
+// wait drains the pool, re-raises the first task panic, and reports
+// ctx.Err(). Idempotent, so error paths can call it for cleanup.
+func (p *streamPool) wait() error {
+	if !p.waited {
+		p.waited = true
+		if !p.seq {
+			close(p.tasks)
+			p.wg.Wait()
+		}
+	}
+	if pb := p.failed.Load(); pb != nil {
+		panic(pb.val)
+	}
+	return p.ctx.Err()
+}

@@ -136,11 +136,11 @@ func TestAnalyzeParallelDigestIdentity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq := reportDigest(t, Analyze(rr, AnalyzeOptions{Sequential: true}))
+		seq := reportDigest(t, mustAnalyze(t, rr, WithSequential()))
 		prev := runtime.GOMAXPROCS(1)
-		par1 := reportDigest(t, Analyze(rr, AnalyzeOptions{Parallelism: 8}))
+		par1 := reportDigest(t, mustAnalyze(t, rr, WithParallelism(8)))
 		runtime.GOMAXPROCS(runtime.NumCPU())
-		parN := reportDigest(t, Analyze(rr, AnalyzeOptions{Parallelism: 8}))
+		parN := reportDigest(t, mustAnalyze(t, rr, WithParallelism(8)))
 		runtime.GOMAXPROCS(prev)
 		if seq != par1 {
 			t.Fatalf("seed %d: sequential %s != parallel@GOMAXPROCS=1 %s", seed, seq, par1)
@@ -162,9 +162,7 @@ func TestAnalyzeParallelRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := AnalyzeContext(context.Background(), rr, AnalyzeOptions{
-		Parallelism: 2 * runtime.NumCPU(),
-	})
+	rep, err := AnalyzeRun(context.Background(), rr, WithParallelism(2*runtime.NumCPU()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +175,7 @@ func TestAnalyzeContextCanceled(t *testing.T) {
 	rr, _ := smallRun(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := AnalyzeContext(ctx, rr, AnalyzeOptions{}); err == nil {
+	if _, err := AnalyzeRun(ctx, rr); err == nil {
 		t.Fatal("canceled context: want error")
 	}
 }
@@ -187,7 +185,7 @@ func TestAnalyzeContextCanceled(t *testing.T) {
 func TestAnalyzeObserverPhases(t *testing.T) {
 	rr, rep := smallRun(t)
 	reg := obs.NewRegistry()
-	obsRep, err := AnalyzeContext(context.Background(), rr, AnalyzeOptions{Observer: reg})
+	obsRep, err := AnalyzeRun(context.Background(), rr, WithAnalysisObserver(reg))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"runtime"
 	"time"
 
 	"dctraffic/internal/congestion"
@@ -12,12 +10,16 @@ import (
 	"dctraffic/internal/obs"
 	"dctraffic/internal/stats"
 	"dctraffic/internal/tm"
-	"dctraffic/internal/tomo"
 	"dctraffic/internal/trace"
 )
 
 // AnalyzeOptions tunes the per-figure analyses. ApplyDefaults fills zero
-// fields.
+// fields. It remains the underlying knob set of the streaming pipeline
+// (AnalyzeSource's config embeds it), but callers should prefer the
+// equivalent WithX functional options.
+//
+// Deprecated: configure AnalyzeRun/AnalyzeSource with AnalyzeOption
+// values instead of passing this struct to Analyze/AnalyzeContext.
 type AnalyzeOptions struct {
 	// Parallelism bounds the worker goroutines of the analysis pipeline.
 	// 0 means runtime.GOMAXPROCS(0). Any value yields bit-identical
@@ -265,520 +267,35 @@ type Fig14Data struct {
 	HeavyHitterHits float64
 }
 
-// Analyze regenerates every figure from a run. It is AnalyzeContext with
-// a background context; see AnalyzeOptions.Parallelism for the worker
-// knob (results are bit-identical at any setting).
+// Analyze regenerates every figure from a run.
+//
+// Deprecated: Analyze is the legacy struct-options entry point, kept so
+// existing callers keep working unchanged. New code should call
+// AnalyzeRun (or AnalyzeSource over a trace.Source) with functional
+// options. This shim routes through the same streaming pipeline, so
+// the Report is bit-identical to the replacement's.
 func Analyze(rr *RunResult, opts AnalyzeOptions) *Report {
 	rep, err := AnalyzeContext(context.Background(), rr, opts)
 	if err != nil {
-		// Only cancellation can fail the pipeline, and the background
-		// context cannot be canceled.
+		// Only cancellation or a malformed source can fail the pipeline,
+		// and a run's own record slice is neither cancellable nor
+		// malformed.
 		panic(err)
 	}
 	return rep
 }
 
-// AnalyzeContext regenerates every figure from a run, running the
-// independent figure computations concurrently on a bounded worker pool.
-// It returns an error only when ctx is canceled.
+// AnalyzeContext regenerates every figure from a run under a context.
 //
-// The pipeline has three stages, each an obs phase under
-// opts.Observer:
-//
-//	analyze.index       build the shared RecordView (and the reassembled
-//	                    flow view when InactivityTimeout is set)
-//	analyze.figures     everything independent of congestion episodes:
-//	                    Fig 2, the 16 Fig 3/4 sample windows, episode
-//	                    detection, Fig 9 CDF shards, Fig 10 bin shards,
-//	                    Fig 11, per-window tomography (Fig 12–14)
-//	analyze.congestion  everything downstream of the episode set:
-//	                    Fig 5–8, the §4.4 incast audit, §4.2 attribution
-//
-// Tasks write pre-sized slots; all merging happens here between stages,
-// on this goroutine, in fixed slot order (see parallel.go), so the
-// Report is bit-identical at any Parallelism.
+// Deprecated: use AnalyzeRun, which takes the same knobs as functional
+// options. This shim forwards the whole struct in one option, so the
+// two are interchangeable call-for-call.
 func AnalyzeContext(ctx context.Context, rr *RunResult, opts AnalyzeOptions) (*Report, error) {
-	opts = opts.ApplyDefaults(rr.Config.Duration)
-	workers := opts.Parallelism
-	if opts.Sequential {
-		workers = 1
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	reg := opts.Observer
-	top := rr.Top
-	duration := rr.Config.Duration
-	rep := &Report{}
-
-	// Stage 1: the shared time index. Its (Start, ID) record order is the
-	// canonical iteration order of everything below.
-	stopIndex := reg.StartPhase("analyze.index")
-	view := trace.NewRecordView(rr.Records(), top)
-	records := view.Records()
-	flowView := view
-	if opts.InactivityTimeout > 0 {
-		// §3 methodology: merge five-tuple records quiet for less than
-		// the timeout, then index the reassembled flows the same way.
-		flowView = trace.NewRecordView(flows.Reassemble(records, opts.InactivityTimeout), top)
-	}
-	flowRecords := flowView.Records()
-	problem := tomo.NewProblem(top)
-	stopIndex()
-	reg.Counter("analyze.records_total").Add(int64(len(records)))
-	reg.Gauge("analyze.workers").Set(float64(workers))
-
-	// Stage 2: figure tasks that do not depend on congestion episodes.
-	var tasks []task
-
-	tasks = append(tasks, task{"overhead", func() {
-		rep.Overhead = rr.Collector.Overhead(duration)
-		// Replace the model's compression constant with the ratio
-		// actually achieved on this run's log sample.
-		if ratio, err := rr.Collector.MeasuredCompression(0); err == nil && ratio > 0 {
-			rep.Overhead.CompressionRatio = ratio
-			rep.Overhead.UploadBytesPerServerPerDay = rep.Overhead.LogBytesPerServerPerDay / ratio
-		}
-	}})
-
-	// Figure 2. The heat-map TM is the paper's 10 s snapshot; the pattern
-	// shares are computed over a 10×-longer window so they are stable
-	// (a single 10 s window is dominated by whichever shuffle is active).
-	tasks = append(tasks, task{"fig2", func() {
-		fig2TM := tm.ServerMatrixView(view, top.NumHosts(), opts.Fig2At, opts.Fig2At+opts.Fig2Window)
-		fig34TM := tm.ServerMatrixView(view, top.NumHosts(), opts.Fig2At, opts.Fig2At+10*opts.Fig2Window)
-		rep.Fig2 = Fig2Data{
-			From: opts.Fig2At, To: opts.Fig2At + opts.Fig2Window,
-			TM:       fig2TM,
-			Patterns: tm.SummarizePatterns(fig34TM, top),
-		}
-	}})
-
-	// Figures 3 and 4: a single window at this cluster scale is dominated
-	// by whatever burst (shuffle, evacuation) happens to be active, so the
-	// statistics are pooled over windows sampled across the whole run —
-	// the paper's distributions likewise aggregate over many TMs. Each
-	// sample window is one task writing its own slot; the pool below
-	// merges the slots in window order.
-	const fig34Samples = 16
-	type fig34Slot struct {
-		used                   bool
-		es                     tm.EntryStats
-		zeroWithin, zeroAcross float64
-		cs                     tm.CorrespondentStats
-	}
-	fig34Slots := make([]fig34Slot, fig34Samples)
-	sampleWindow := 10 * opts.Fig2Window
-	for k := 0; k < fig34Samples; k++ {
-		k := k
-		tasks = append(tasks, task{fmt.Sprintf("fig34.w%d", k), func() {
-			from := duration * netsim.Time(k) / fig34Samples
-			w := tm.ServerMatrixView(view, top.NumHosts(), from, from+sampleWindow)
-			if w.NonZero() == 0 {
-				return
-			}
-			s := &fig34Slots[k]
-			s.used = true
-			s.es = tm.ComputeEntryStats(w, top)
-			s.zeroWithin = s.es.PZeroWithinRack
-			s.zeroAcross = s.es.PZeroAcrossRack
-			s.cs = tm.ComputeCorrespondents(w, top)
-		}})
-	}
-
-	// Congestion episodes, needed by the whole third stage.
-	links := top.InterSwitchLinks()
-	var eps []congestion.Episode
-	tasks = append(tasks, task{"detect", func() {
-		eps = congestion.Detect(rr.Net.Stats(), top, opts.CongestionThreshold, links)
-	}})
-
-	// Figure 9: duration/rate CDFs sharded over the flow records, merged
-	// in shard order (concatenating shard CDFs reproduces the canonical
-	// add order because shards partition the view order).
-	type fig9Slot struct {
-		byFlows, byBytes, rates *stats.CDF
-	}
-	fig9Shards := shardRanges(len(flowRecords), recordShardTarget, maxRecordShards)
-	fig9Slots := make([]fig9Slot, len(fig9Shards))
-	for j, sh := range fig9Shards {
-		j, sh := j, sh
-		tasks = append(tasks, task{fmt.Sprintf("fig9.s%d", j), func() {
-			chunk := flowRecords[sh[0]:sh[1]]
-			byFlows, byBytes := flows.DurationCDFs(chunk)
-			fig9Slots[j] = fig9Slot{byFlows: byFlows, byBytes: byBytes, rates: flows.RateCDF(chunk)}
-		}})
-	}
-
-	// Figure 10: the fine TM series sharded over bin ranges. Each bin's
-	// matrix accumulates exactly the view-ordered records overlapping
-	// that bin, so the sharded series matches a whole-run scan
-	// bit-for-bit regardless of the decomposition.
-	nBins := int((duration + opts.Fig10Bin - 1) / opts.Fig10Bin)
-	series := make([]*tm.Matrix, nBins)
-	for j, sh := range shardRanges(nBins, 512, maxRecordShards) {
-		j, sh := j, sh
-		tasks = append(tasks, task{fmt.Sprintf("fig10.s%d", j), func() {
-			for i := sh[0]; i < sh[1]; i++ {
-				from, to := tm.SeriesBinWindow(i, opts.Fig10Bin, duration)
-				series[i] = tm.ServerMatrixView(view, top.NumHosts(), from, to)
-			}
-		}})
-	}
-
-	// Figure 11: the three inter-arrival scopes are independent tasks;
-	// the per-server / per-rack start lists come from the view's posting
-	// lists, pooled in ascending ID order.
-	var clusterPts, torPts, serverPts []stats.Point
-	var modeMs float64
-	tasks = append(tasks,
-		task{"fig11.cluster", func() {
-			clusterPts = stats.NewCDF(flows.ClusterInterArrivalsView(flowView)).Points(100)
-		}},
-		task{"fig11.tor", func() {
-			torPts = stats.NewCDF(flows.TorInterArrivalsView(flowView)).Points(100)
-		}},
-		task{"fig11.server", func() {
-			gaps := flows.ServerInterArrivalsView(flowView)
-			serverPts = stats.NewCDF(gaps).Points(100)
-			modeMs = flows.ModeSpacing(gaps, 2, 100, 196)
-		}},
-	)
-
-	// Figures 12–14: tomography, one task per chain of consecutive ToR-TM
-	// windows. Each chain owns a tomo.Estimator — a reusable solver and
-	// WLS workspace — so consecutive windows warm-start the sparsity-max
-	// simplex from the previous basis (unless opts.TomoCold) and the
-	// steady-state window estimate allocates nothing. The immutable
-	// problem is shared; each window writes its own slot and the merge
-	// below replays the sequential loop in window order, including its
-	// skip-on-error semantics.
-	type tomoSlot struct {
-		ok                               bool
-		eTG, eTJ, eTR, eSM               float64
-		fracTrue, fracTG, fracTJ, fracSM float64
-		smNonZeros, smHits               float64
-		pivots, refactors                int
-		warm, fellBack                   bool
-	}
-	tomoWindows := int((duration + opts.TomoBin - 1) / opts.TomoBin)
-	if tomoWindows > opts.TomoMaxTMs {
-		tomoWindows = opts.TomoMaxTMs
-	}
-	tomoSlots := make([]tomoSlot, tomoWindows)
-	for j, sh := range shardRanges(tomoWindows, tomoChainTarget, maxTomoChains) {
-		j, sh := j, sh
-		tasks = append(tasks, task{fmt.Sprintf("tomo.c%d", j), func() {
-			est := problem.NewEstimator(tomo.EstimatorOptions{Cold: opts.TomoCold})
-			xTrue := make([]float64, problem.NumPairs())
-			var b, tg, tj, tr, sm []float64
-			for i := sh[0]; i < sh[1]; i++ {
-				from, to := tm.SeriesBinWindow(i, opts.TomoBin, duration)
-				truth := tm.TorMatrixView(view, top, from, to)
-				if truth.Total() <= 0 {
-					continue
-				}
-				b = est.LinkCountsInto(b, truth)
-				problem.VecFromTMInto(xTrue, truth)
-
-				var err error
-				tg, err = est.TomogravityInto(tg, b)
-				if err != nil {
-					continue
-				}
-				mult := tomo.JobMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
-				tj, err = est.TomogravityWithMultiplierInto(tj, b, mult)
-				if err != nil {
-					continue
-				}
-				roleMult := tomo.RoleAwareMultiplier(rr.Log, top, from, from+opts.TomoBin, opts.JobPriorAlpha)
-				tr, err = est.TomogravityWithMultiplierInto(tr, b, roleMult)
-				if err != nil {
-					continue
-				}
-				sm, err = est.SparsityMaxInto(sm, b)
-				if err != nil {
-					continue
-				}
-				st := est.SolveStats()
-
-				s := &tomoSlots[i]
-				s.ok = true
-				s.eTG = tomo.RMSRE(xTrue, tg, 0.75)
-				s.eTJ = tomo.RMSRE(xTrue, tj, 0.75)
-				s.eTR = tomo.RMSRE(xTrue, tr, 0.75)
-				s.eSM = tomo.RMSRE(xTrue, sm, 0.75)
-				_, s.fracTrue = tomo.SparsityOfVec(xTrue, 0.75)
-				_, s.fracTG = tomo.SparsityOfVec(tg, 0.75)
-				_, s.fracTJ = tomo.SparsityOfVec(tj, 0.75)
-				_, s.fracSM = tomo.SparsityOfVec(sm, 0.75)
-				s.smNonZeros = float64(tomo.NonZeroCount(sm))
-				s.smHits = float64(tomo.HeavyHitterOverlap(xTrue, sm, 97))
-				s.pivots = st.Pivots
-				s.refactors = st.Refactorizations
-				s.warm = st.Warm
-				s.fellBack = st.FellBack
-			}
-		}})
-	}
-
-	stopFigures := reg.StartPhase("analyze.figures")
-	reg.Counter("analyze.tasks_total").Add(int64(len(tasks)))
-	if err := runTasks(ctx, workers, tasks); err != nil {
-		return nil, fmt.Errorf("core: analyze canceled: %w", err)
-	}
-
-	// Merge stage-2 slots, in slot order, on this goroutine.
-	var es tm.EntryStats
-	var zeroWithin, zeroAcross float64
-	var fracWithin, fracAcross, withinCounts, acrossCounts []float64
-	for k := range fig34Slots {
-		s := &fig34Slots[k]
-		if !s.used {
-			continue
-		}
-		es.WithinRack = append(es.WithinRack, s.es.WithinRack...)
-		es.AcrossRack = append(es.AcrossRack, s.es.AcrossRack...)
-		zeroWithin += s.zeroWithin
-		zeroAcross += s.zeroAcross
-		fracWithin = append(fracWithin, s.cs.FracWithin...)
-		fracAcross = append(fracAcross, s.cs.FracAcross...)
-		withinCounts = append(withinCounts, s.cs.MedianWithinCount)
-		acrossCounts = append(acrossCounts, s.cs.MedianAcrossCount)
-	}
-	if n := len(withinCounts); n > 0 {
-		es.PZeroWithinRack = zeroWithin / float64(n)
-		es.PZeroAcrossRack = zeroAcross / float64(n)
-	}
-	wd, ad := es.LogHistograms(30)
-	rep.Fig3 = Fig3Data{Entries: es, WithinDensity: wd, AcrossDensity: ad}
-	rep.Fig4 = Fig4Data{
-		Stats: tm.CorrespondentStats{
-			FracWithin:        fracWithin,
-			FracAcross:        fracAcross,
-			MedianWithinCount: stats.Median(withinCounts),
-			MedianAcrossCount: stats.Median(acrossCounts),
-		},
-		WithinCDF: stats.NewCDF(fracWithin).Points(50),
-		AcrossCDF: stats.NewCDF(fracAcross).Points(50),
-	}
-
-	byFlows, byBytes, rates := &stats.CDF{}, &stats.CDF{}, &stats.CDF{}
-	byFlows.Grow(len(flowRecords))
-	byBytes.Grow(len(flowRecords))
-	rates.Grow(len(flowRecords))
-	for j := range fig9Slots {
-		byFlows.Merge(fig9Slots[j].byFlows)
-		byBytes.Merge(fig9Slots[j].byBytes)
-		rates.Merge(fig9Slots[j].rates)
-	}
-	rep.Fig9 = Fig9Data{
-		ByFlowsCDF: byFlows.Points(100),
-		ByBytesCDF: byBytes.Points(100),
-		Summary: flows.Summary{
-			NumFlows:             len(flowRecords),
-			FracShorterThan10s:   byFlows.P(10),
-			FracLongerThan200s:   1 - byFlows.P(200),
-			BytesInFlowsUnder25s: byBytes.P(25),
-			MedianDurationSec:    byFlows.Quantile(0.5),
-			MedianRateMbps:       rates.Quantile(0.5),
-			ArrivalRatePerSec:    flows.ArrivalRatePerSecView(flowView, duration),
-		},
-	}
-
-	mag := tm.MagnitudeSeries(series)
-	magPts := make([]stats.Point, len(mag))
-	binSec := opts.Fig10Bin.Seconds()
-	for i, v := range mag {
-		magPts[i] = stats.Point{X: float64(i) * binSec, Y: v / binSec}
-	}
-	ch10 := tm.ChangeSeries(series, 1)
-	ch100 := tm.ChangeSeries(series, 10)
-	rep.Fig10 = Fig10Data{
-		Bin:              opts.Fig10Bin,
-		Magnitude:        magPts,
-		Change10s:        ch10,
-		Change100s:       ch100,
-		MedianChange10s:  stats.Median(nonZero(ch10)),
-		MedianChange100s: stats.Median(nonZero(ch100)),
-	}
-
-	rep.Fig11 = Fig11Data{
-		ClusterCDF:    clusterPts,
-		TorCDF:        torPts,
-		ServerCDF:     serverPts,
-		ModeMs:        modeMs,
-		ArrivalPerSec: flows.ArrivalRatePerSecView(view, duration),
-	}
-
-	var f12 Fig12Data
-	var f13 Fig13Data
-	truthCDF, tgCDF, jobsCDF, smCDF := &stats.CDF{}, &stats.CDF{}, &stats.CDF{}, &stats.CDF{}
-	var smNonZeros, smHits []float64
-	var xs, ys []float64
-	// Solver-effort series are fed here, on the coordinating goroutine,
-	// because the registry is not goroutine-safe (see the determinism
-	// contract in parallel.go). Slot order makes the histograms
-	// deterministic too.
-	pivotHist := reg.Histogram("tomo.pivots_per_window", obs.Pow2Bounds(1, 16))
-	refacHist := reg.Histogram("tomo.refactorizations_per_window", obs.Pow2Bounds(1, 10))
-	warmWindows := reg.Counter("tomo.windows_warm")
-	coldWindows := reg.Counter("tomo.windows_cold")
-	fallbackWindows := reg.Counter("tomo.windows_fallback")
-	for i := range tomoSlots {
-		s := &tomoSlots[i]
-		if !s.ok {
-			continue
-		}
-		pivotHist.Observe(float64(s.pivots))
-		refacHist.Observe(float64(s.refactors))
-		if s.warm {
-			warmWindows.Inc()
-		} else {
-			coldWindows.Inc()
-		}
-		if s.fellBack {
-			fallbackWindows.Inc()
-		}
-		f12.NumTMs++
-		f12.Tomogravity = append(f12.Tomogravity, s.eTG)
-		f12.TomogravityJobs = append(f12.TomogravityJobs, s.eTJ)
-		f12.TomogravityRoles = append(f12.TomogravityRoles, s.eTR)
-		f12.SparsityMax = append(f12.SparsityMax, s.eSM)
-		truthCDF.Add(s.fracTrue)
-		tgCDF.Add(s.fracTG)
-		jobsCDF.Add(s.fracTJ)
-		smCDF.Add(s.fracSM)
-		smNonZeros = append(smNonZeros, s.smNonZeros)
-		smHits = append(smHits, s.smHits)
-		xs = append(xs, s.fracTrue)
-		ys = append(ys, s.eTG)
-	}
-	f12.MedianTomogravity = stats.Median(f12.Tomogravity)
-	f12.MedianTomogravityJobs = stats.Median(f12.TomogravityJobs)
-	f12.MedianTomogravityRoles = stats.Median(f12.TomogravityRoles)
-	f12.MedianSparsityMax = stats.Median(f12.SparsityMax)
-	for i := range xs {
-		f13.Points = append(f13.Points, stats.Point{X: xs[i], Y: ys[i]})
-	}
-	if len(xs) >= 2 {
-		f13.Pearson = stats.Pearson(xs, ys)
-		f13.FitA, f13.FitB = stats.LogFit(xs, ys)
-	}
-	rep.Fig12 = f12
-	rep.Fig13 = f13
-	rep.Fig14 = Fig14Data{
-		TruthCDF:         truthCDF.Points(50),
-		TomogravityCDF:   tgCDF.Points(50),
-		JobsCDF:          jobsCDF.Points(50),
-		SparsityCDF:      smCDF.Points(50),
-		SparsityNonZeros: stats.Mean(smNonZeros),
-		HeavyHitterHits:  stats.Mean(smHits),
-	}
-	stopFigures()
-
-	// Stage 3: everything downstream of the episode set, joined against a
-	// shared immutable index.
-	idx := congestion.NewEpisodeIndex(eps)
-	binSize := rr.Net.Stats().BinSize()
-	var tasks2 []task
-
-	tasks2 = append(tasks2, task{"fig5", func() {
-		rep.Fig5 = Fig5Data{
-			Episodes:       eps,
-			LinksMonitored: len(links),
-			FracLinks10s:   congestion.FracLinksWithEpisodeAtLeast(eps, links, 10*time.Second),
-			FracLinks100s:  congestion.FracLinksWithEpisodeAtLeast(eps, links, 100*time.Second),
-			MeanConcurrent: stats.MeanInt(congestion.ConcurrencySeries(eps, binSize, duration)),
-			Correlation:    congestion.Correlate(eps),
-		}
-	}})
-
-	tasks2 = append(tasks2, task{"fig6", func() {
-		durCDF, over10, longest := congestion.DurationStats(eps)
-		rep.Fig6 = Fig6Data{
-			DurationCDF: durCDF.Points(100),
-			Episodes:    durCDF.N(),
-			Over10s:     over10,
-			LongestSec:  longest,
-			FracUnder10: durCDF.P(10),
-		}
-	}})
-
-	// Figure 7: the flow ↔ episode join sharded over the record view.
-	type fig7Slot struct {
-		overlap, all *stats.CDF
-	}
-	recShards := shardRanges(len(records), recordShardTarget, maxRecordShards)
-	fig7Slots := make([]fig7Slot, len(recShards))
-	for j, sh := range recShards {
-		j, sh := j, sh
-		tasks2 = append(tasks2, task{fmt.Sprintf("fig7.s%d", j), func() {
-			overlap, all := congestion.OverlapRateCDFsIndexed(records[sh[0]:sh[1]], idx, top)
-			fig7Slots[j] = fig7Slot{overlap: overlap, all: all}
-		}})
-	}
-
-	tasks2 = append(tasks2, task{"fig8", func() {
-		numPeriods := int(duration / opts.Fig8Period)
-		if numPeriods < 1 {
-			numPeriods = 1
-		}
-		days := congestion.ReadFailureImpact(rr.Log, records, eps, top, opts.Fig8Period, numPeriods)
-		var increases []float64
-		for _, d := range days {
-			if d.CongestedReads > 0 && d.ClearReads > 0 {
-				increases = append(increases, d.IncreasePct)
-			}
-		}
-		rep.Fig8 = Fig8Data{Period: opts.Fig8Period, Days: days, MedianIncreasePct: stats.Median(increases)}
-	}})
-
-	// §4.4 audit.
-	tasks2 = append(tasks2, task{"incast", func() {
-		rep.Incast = congestion.AuditIncast(records, top, eps, binSize, duration,
-			rr.Cluster.Config().MaxConnsPerVertex)
-	}})
-
-	// §4.2 attribution: the same shards, merged in shard order with the
-	// kinds in ascending order (congestion.MergeAttribution).
-	attrSlots := make([]congestion.Attribution, len(recShards))
-	for j, sh := range recShards {
-		j, sh := j, sh
-		tasks2 = append(tasks2, task{fmt.Sprintf("attr.s%d", j), func() {
-			attrSlots[j] = congestion.AttributeIndexed(records[sh[0]:sh[1]], idx, top)
-		}})
-	}
-
-	stopCongestion := reg.StartPhase("analyze.congestion")
-	reg.Counter("analyze.tasks_total").Add(int64(len(tasks2)))
-	if err := runTasks(ctx, workers, tasks2); err != nil {
-		return nil, fmt.Errorf("core: analyze canceled: %w", err)
-	}
-
-	overlap, all := &stats.CDF{}, &stats.CDF{}
-	for j := range fig7Slots {
-		overlap.Merge(fig7Slots[j].overlap)
-		all.Merge(fig7Slots[j].all)
-	}
-	rep.Fig7 = Fig7Data{
-		OverlapCDF:        overlap.Points(100),
-		AllCDF:            all.Points(100),
-		MedianOverlapMbps: overlap.Quantile(0.5),
-		MedianAllMbps:     all.Quantile(0.5),
-	}
-	rep.Attribution = congestion.MergeAttribution(attrSlots)
-	stopCongestion()
-
-	return rep, nil
+	return AnalyzeRun(ctx, rr, opts.asOption())
 }
 
-func nonZero(xs []float64) []float64 {
-	var out []float64
-	for _, x := range xs {
-		if x != 0 {
-			out = append(out, x)
-		}
-	}
-	return out
+// asOption adapts the legacy struct to the functional-options config:
+// the config embeds AnalyzeOptions, so the struct is copied in whole.
+func (o AnalyzeOptions) asOption() AnalyzeOption {
+	return func(c *analyzeConfig) { c.AnalyzeOptions = o }
 }

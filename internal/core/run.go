@@ -117,6 +117,12 @@ type RunResult struct {
 // Records returns the socket-level flow log.
 func (r *RunResult) Records() []trace.FlowRecord { return r.Collector.Records() }
 
+// Source returns the flow log as a canonical-order trace.Source, the
+// input AnalyzeSource streams over. Sorting cost aside, analyzing this
+// source is bit-identical to analyzing the same records written to a
+// trace file and read back through trace.FileSource.
+func (r *RunResult) Source() *trace.SliceSource { return trace.NewSliceSource(r.Records()) }
+
 // Progress is one run-loop progress report, delivered at simulated-time
 // batch boundaries (see WithProgress).
 type Progress struct {

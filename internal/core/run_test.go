@@ -28,7 +28,7 @@ func digestOf(t *testing.T, rr *RunResult) string {
 		fmt.Fprintf(h, "%d %d %d %d %d %d %d %d %v\n",
 			r.ID, r.Src, r.Dst, r.SrcPort, r.DstPort, r.Start, r.End, r.Bytes, r.Tag)
 	}
-	j, err := Analyze(rr, AnalyzeOptions{}).JSON()
+	j, err := mustAnalyze(t, rr).JSON()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func TestPaperScaleSmoke(t *testing.T) {
 	if len(rr.Records()) < 1000 {
 		t.Fatalf("only %d flows at paper scale in 10 minutes", len(rr.Records()))
 	}
-	rep := Analyze(rr, AnalyzeOptions{})
+	rep := mustAnalyze(t, rr)
 	if rep.Fig9.Summary.NumFlows == 0 {
 		t.Fatal("analysis empty at paper scale")
 	}
@@ -48,7 +48,7 @@ func TestPaperScaleSmoke(t *testing.T) {
 // same-five-tuple records can only reduce the flow count.
 func TestAnalyzeWithReassembly(t *testing.T) {
 	rr, rep := smallRun(t)
-	merged := Analyze(rr, AnalyzeOptions{InactivityTimeout: 60 * time.Second})
+	merged := mustAnalyze(t, rr, WithInactivityTimeout(60*time.Second))
 	if merged.Fig9.Summary.NumFlows > rep.Fig9.Summary.NumFlows {
 		t.Fatalf("reassembly grew the flow count: %d > %d",
 			merged.Fig9.Summary.NumFlows, rep.Fig9.Summary.NumFlows)
@@ -91,7 +91,7 @@ func TestMultipathReducesCongestion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := Analyze(rr, AnalyzeOptions{})
+		rep := mustAnalyze(t, rr)
 		// Long episodes (>=10s) are the robust comparison: ECMP trades a
 		// few saturated trunk links for many brief collisions on the
 		// (4x smaller) per-agg links, so total congested seconds are

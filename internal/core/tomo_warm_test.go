@@ -29,7 +29,7 @@ func bitsEqualSeries(t *testing.T, label string, want, got []float64) {
 // set of windows.
 func TestAnalyzeTomoColdVsWarm(t *testing.T) {
 	rr, warm := smallRun(t)
-	cold := Analyze(rr, AnalyzeOptions{TomoCold: true})
+	cold := mustAnalyze(t, rr, WithTomoCold())
 
 	if warm.Fig12.NumTMs == 0 {
 		t.Fatal("no tomography windows analyzed")
@@ -50,7 +50,7 @@ func TestAnalyzeTomoSolverSeries(t *testing.T) {
 	rr, _ := smallRun(t)
 
 	reg := obs.NewRegistry()
-	rep, err := AnalyzeContext(context.Background(), rr, AnalyzeOptions{Observer: reg})
+	rep, err := AnalyzeRun(context.Background(), rr, WithAnalysisObserver(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestAnalyzeTomoSolverSeries(t *testing.T) {
 	}
 
 	regCold := obs.NewRegistry()
-	if _, err := AnalyzeContext(context.Background(), rr, AnalyzeOptions{Observer: regCold, TomoCold: true}); err != nil {
+	if _, err := AnalyzeRun(context.Background(), rr, WithAnalysisObserver(regCold), WithTomoCold()); err != nil {
 		t.Fatal(err)
 	}
 	if v := regCold.Snapshot().Value("tomo.windows_warm"); v != 0 {

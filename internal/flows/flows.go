@@ -43,7 +43,15 @@ func Reassemble(records []trace.FlowRecord, timeout netsim.Time) []trace.FlowRec
 	}
 	var out []trace.FlowRecord
 	for _, rs := range byTuple {
-		sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+		// (Start, ID) order — the canonical trace order — so batch and
+		// streaming reassembly see identical per-tuple sequences even
+		// when records of one tuple tie on Start.
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].Start != rs[j].Start {
+				return rs[i].Start < rs[j].Start
+			}
+			return rs[i].ID < rs[j].ID
+		})
 		cur := rs[0]
 		for _, r := range rs[1:] {
 			if r.Start-cur.End < timeout {
@@ -334,14 +342,5 @@ func ModeSpacing(gapsMs []float64, loMs, capMs float64, bins int) float64 {
 	for _, g := range gapsMs {
 		h.Add(g)
 	}
-	best, bestCount := 0, 0.0
-	for i, c := range h.Counts {
-		if c > bestCount {
-			best, bestCount = i, c
-		}
-	}
-	if bestCount == 0 {
-		return 0
-	}
-	return h.BinCenter(best)
+	return histogramMode(h)
 }

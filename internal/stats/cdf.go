@@ -74,9 +74,19 @@ func (c *CDF) Merge(o *CDF) {
 // N reports the number of samples.
 func (c *CDF) N() int { return len(c.xs) }
 
-// TotalWeight reports the sum of sample weights.
-func (c *CDF) TotalWeight() float64 { return c.totalW }
+// TotalWeight reports the sum of sample weights, summed in canonical
+// order so the result is independent of insertion order.
+func (c *CDF) TotalWeight() float64 {
+	c.ensureSorted()
+	return c.totalW
+}
 
+// ensureSorted puts the samples into canonical order — ascending x,
+// ties by ascending weight — and recomputes the total weight by summing
+// in that order. Queries are therefore pure functions of the weighted
+// sample multiset: two CDFs holding the same samples answer identically
+// no matter how the samples were sharded, chunked or merge-ordered on
+// the way in. (Insertion order only matters before the first query.)
 func (c *CDF) ensureSorted() {
 	if c.sorted {
 		return
@@ -85,14 +95,22 @@ func (c *CDF) ensureSorted() {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return c.xs[idx[a]] < c.xs[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		if c.xs[idx[a]] != c.xs[idx[b]] {
+			return c.xs[idx[a]] < c.xs[idx[b]]
+		}
+		return c.ws[idx[a]] < c.ws[idx[b]]
+	})
 	xs := make([]float64, len(c.xs))
 	ws := make([]float64, len(c.ws))
+	totalW := 0.0
 	for i, j := range idx {
 		xs[i] = c.xs[j]
 		ws[i] = c.ws[j]
+		totalW += ws[i]
 	}
 	c.xs, c.ws = xs, ws
+	c.totalW = totalW
 	c.sorted = true
 }
 

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// exactRankP computes the exact weighted P(X <= x) over samples.
+func exactRankP(xs, ws []float64, x float64) float64 {
+	w, total := 0.0, 0.0
+	for i := range xs {
+		total += ws[i]
+		if xs[i] <= x {
+			w += ws[i]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return w / total
+}
+
+// TestSketchErrorBound drives the sketch well past many compactions and
+// checks that the observed rank error at every probe stays within the
+// sketch's self-reported bound, for both uniform and heavily skewed
+// weights.
+func TestSketchErrorBound(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		weighted bool
+	}{
+		{"uniform", false},
+		{"skewed", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := NewRNG(42)
+			const n = 200_000
+			sk := NewQuantileSketch(512)
+			xs := make([]float64, 0, n)
+			ws := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				x := rng.ExpFloat64() * 100
+				w := 1.0
+				if tc.weighted {
+					// Heavy-tailed weights: mostly small, occasionally large.
+					w = math.Exp(rng.NormFloat64() * 2)
+				}
+				xs = append(xs, x)
+				ws = append(ws, w)
+				sk.Add(x, w)
+			}
+			bound := sk.ErrorBound()
+			if bound <= 0 || bound >= 0.5 {
+				t.Fatalf("implausible error bound %g", bound)
+			}
+			worst := 0.0
+			for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				x := sk.Quantile(q)
+				got := sk.P(x)
+				want := exactRankP(xs, ws, x)
+				if err := math.Abs(got - want); err > worst {
+					worst = err
+				}
+			}
+			if worst > bound {
+				t.Fatalf("observed rank error %g exceeds reported bound %g", worst, bound)
+			}
+			t.Logf("%s: n=%d retained-levels=%d bound=%g worst-observed=%g",
+				tc.name, n, len(sk.levels), bound, worst)
+		})
+	}
+}
+
+// TestSketchDeterminism: identical insertion sequences must produce
+// identical summaries, including after many compactions.
+func TestSketchDeterminism(t *testing.T) {
+	build := func() *QuantileSketch {
+		rng := NewRNG(7)
+		sk := NewQuantileSketch(256)
+		for i := 0; i < 50_000; i++ {
+			sk.Add(rng.Float64()*1000, 1+rng.Float64())
+		}
+		return sk
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.999, 1} {
+		qa, qb := a.Quantile(q), b.Quantile(q)
+		if math.Float64bits(qa) != math.Float64bits(qb) {
+			t.Fatalf("Quantile(%g) differs: %g vs %g", q, qa, qb)
+		}
+	}
+	pa, pb := a.Points(100), b.Points(100)
+	if len(pa) != len(pb) {
+		t.Fatalf("Points length differs: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if math.Float64bits(pa[i].X) != math.Float64bits(pb[i].X) ||
+			math.Float64bits(pa[i].Y) != math.Float64bits(pb[i].Y) {
+			t.Fatalf("Points[%d] differs: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+// TestStreamCDFExactBelowCap: a StreamCDF that never crosses its cap
+// must answer bit-identically to a plain CDF over the same insertions.
+func TestStreamCDFExactBelowCap(t *testing.T) {
+	rng := NewRNG(3)
+	sc := NewStreamCDF(10_000)
+	ref := &CDF{}
+	for i := 0; i < 5_000; i++ {
+		x := rng.NormFloat64() * 10
+		w := 1 + rng.Float64()
+		sc.AddWeighted(x, w)
+		ref.AddWeighted(x, w)
+	}
+	if sc.Sketched() {
+		t.Fatal("StreamCDF sketched below cap")
+	}
+	if sc.ErrorBound() != 0 {
+		t.Fatalf("exact StreamCDF reports nonzero error bound %g", sc.ErrorBound())
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		a, b := sc.Quantile(q), ref.Quantile(q)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("Quantile(%g): stream %g != exact %g", q, a, b)
+		}
+	}
+	for _, x := range []float64{-30, -5, 0, 5, 30} {
+		a, b := sc.P(x), ref.P(x)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("P(%g): stream %g != exact %g", x, a, b)
+		}
+	}
+	pa, pb := sc.Points(64), ref.Points(64)
+	if len(pa) != len(pb) {
+		t.Fatalf("Points length: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("Points[%d]: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+// TestStreamCDFSketchConversion: crossing the cap converts to a sketch
+// whose answers stay within the reported bound of the exact answers.
+func TestStreamCDFSketchConversion(t *testing.T) {
+	rng := NewRNG(11)
+	sc := NewStreamCDF(1_000)
+	var xs, ws []float64
+	for i := 0; i < 50_000; i++ {
+		x := rng.ExpFloat64()
+		xs = append(xs, x)
+		ws = append(ws, 1)
+		sc.Add(x)
+	}
+	if !sc.Sketched() {
+		t.Fatal("StreamCDF did not sketch past cap")
+	}
+	if sc.N() != 50_000 {
+		t.Fatalf("N = %d, want 50000", sc.N())
+	}
+	bound := sc.ErrorBound()
+	if bound <= 0 {
+		t.Fatal("sketched StreamCDF reports zero error bound")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		x := sc.Quantile(q)
+		if err := math.Abs(sc.P(x) - exactRankP(xs, ws, x)); err > bound {
+			t.Fatalf("q=%g: rank error %g exceeds bound %g", q, err, bound)
+		}
+	}
+}
+
+// TestStreamCDFNeverSketch: cap < 0 keeps the accumulator exact forever.
+func TestStreamCDFNeverSketch(t *testing.T) {
+	sc := NewStreamCDF(-1)
+	for i := 0; i < DefaultCDFSampleCap/64; i++ {
+		sc.Add(float64(i))
+	}
+	if sc.Sketched() {
+		t.Fatal("cap<0 StreamCDF sketched")
+	}
+}
+
+// TestCDFCanonicalOrder: CDFs holding the same weighted multiset must
+// answer identically regardless of insertion order — the property that
+// makes chunked streaming merges digest-compatible with sharded ones.
+func TestCDFCanonicalOrder(t *testing.T) {
+	rng := NewRNG(5)
+	n := 1000
+	xs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ws[i] = 1 + rng.Float64()
+	}
+	a, b := &CDF{}, &CDF{}
+	for i := 0; i < n; i++ {
+		a.AddWeighted(xs[i], ws[i])
+		b.AddWeighted(xs[n-1-i], ws[n-1-i]) // reversed order
+	}
+	if math.Float64bits(a.TotalWeight()) != math.Float64bits(b.TotalWeight()) {
+		t.Fatalf("TotalWeight differs across insertion orders: %g vs %g",
+			a.TotalWeight(), b.TotalWeight())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if math.Float64bits(a.Quantile(q)) != math.Float64bits(b.Quantile(q)) {
+			t.Fatalf("Quantile(%g) differs across insertion orders", q)
+		}
+	}
+	pa, pb := a.Points(50), b.Points(50)
+	for i := range pa {
+		if math.Float64bits(pa[i].Y) != math.Float64bits(pb[i].Y) {
+			t.Fatalf("Points[%d].Y differs across insertion orders", i)
+		}
+	}
+}

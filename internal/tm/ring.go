@@ -1,0 +1,64 @@
+package tm
+
+// ChangeRing is the online accumulator behind Figure 10's
+// traffic-churn series: it consumes per-bin traffic matrices in bin
+// order and incrementally produces exactly what MagnitudeSeries plus
+// ChangeSeries(series, lag) would produce over the full matrix slice —
+// while retaining only the last max(lag) matrices in a ring instead of
+// the whole series. This is what lets a week-long streaming analysis
+// track TM churn without holding a week of matrices.
+type ChangeRing struct {
+	lags    []int
+	keep    int
+	ring    []*Matrix
+	n       int
+	mags    []float64
+	changes [][]float64 // parallel to lags
+}
+
+// NewChangeRing tracks churn at the given positive lags (in bins).
+func NewChangeRing(lags ...int) *ChangeRing {
+	keep := 0
+	for _, l := range lags {
+		if l <= 0 {
+			panic("tm: ChangeRing lag must be positive")
+		}
+		if l > keep {
+			keep = l
+		}
+	}
+	return &ChangeRing{
+		lags:    append([]int(nil), lags...),
+		keep:    keep,
+		ring:    make([]*Matrix, max(keep, 1)),
+		changes: make([][]float64, len(lags)),
+	}
+}
+
+// Push appends the next bin's matrix. For each lag l with at least l
+// prior bins it appends NormalizedChange(bin[j-l], bin[j]) — the same
+// value at the same series index ChangeSeries computes offline.
+func (c *ChangeRing) Push(m *Matrix) {
+	j := c.n
+	c.mags = append(c.mags, m.Total())
+	for li, lag := range c.lags {
+		if j >= lag {
+			c.changes[li] = append(c.changes[li], NormalizedChange(c.ring[(j-lag)%c.keep], m))
+		}
+	}
+	if c.keep > 0 {
+		c.ring[j%c.keep] = m
+	}
+	c.n++
+}
+
+// N reports the number of bins pushed.
+func (c *ChangeRing) N() int { return c.n }
+
+// Magnitude returns the per-bin matrix totals, matching MagnitudeSeries.
+func (c *ChangeRing) Magnitude() []float64 { return c.mags }
+
+// Changes returns the churn series for the i'th configured lag,
+// matching ChangeSeries(series, lags[i]). Nil when no bin pair has
+// spanned the lag yet.
+func (c *ChangeRing) Changes(i int) []float64 { return c.changes[i] }

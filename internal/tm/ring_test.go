@@ -1,0 +1,76 @@
+package tm
+
+import (
+	"math"
+	"testing"
+
+	"dctraffic/internal/stats"
+)
+
+// randomSeries builds a deterministic sequence of sparse matrices.
+func randomSeries(n, bins int) []*Matrix {
+	rng := stats.NewRNG(9).Fork("ring_test")
+	out := make([]*Matrix, bins)
+	for b := range out {
+		m := NewMatrix(n)
+		for e := 0; e < 30; e++ {
+			m.Add(rng.IntN(n), rng.IntN(n), 1+rng.Float64()*1e6)
+		}
+		out[b] = m
+	}
+	return out
+}
+
+// ChangeRing must reproduce MagnitudeSeries and ChangeSeries
+// bit-for-bit while holding only max(lag) matrices — the equivalence
+// that lets Figure 10 stream.
+func TestChangeRingMatchesOfflineSeries(t *testing.T) {
+	series := randomSeries(16, 40)
+	ring := NewChangeRing(1, 10)
+	for _, m := range series {
+		ring.Push(m)
+	}
+	if ring.N() != len(series) {
+		t.Fatalf("N = %d, want %d", ring.N(), len(series))
+	}
+
+	wantMag := MagnitudeSeries(series)
+	gotMag := ring.Magnitude()
+	if len(wantMag) != len(gotMag) {
+		t.Fatalf("magnitude length %d, want %d", len(gotMag), len(wantMag))
+	}
+	for i := range wantMag {
+		if math.Float64bits(wantMag[i]) != math.Float64bits(gotMag[i]) {
+			t.Fatalf("magnitude[%d]: %g != %g", i, gotMag[i], wantMag[i])
+		}
+	}
+
+	for li, lag := range []int{1, 10} {
+		want := ChangeSeries(series, lag)
+		got := ring.Changes(li)
+		if len(want) != len(got) {
+			t.Fatalf("lag %d: length %d, want %d", lag, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("lag %d: change[%d]: %g != %g", lag, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Fewer bins than the lag yields an empty (nil) churn series, matching
+// ChangeSeries's contract.
+func TestChangeRingShortSeries(t *testing.T) {
+	series := randomSeries(8, 5)
+	ring := NewChangeRing(10)
+	for _, m := range series {
+		ring.Push(m)
+	}
+	if got := ring.Changes(0); got != nil {
+		t.Fatalf("lag beyond series length should give nil, got %v", got)
+	}
+	if want := ChangeSeries(series, 10); want != nil {
+		t.Fatalf("offline reference disagrees: %v", want)
+	}
+}

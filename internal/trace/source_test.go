@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+)
+
+// drain reads a source to EOF.
+func drain(t *testing.T, src Source) []FlowRecord {
+	t.Helper()
+	var out []FlowRecord
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// canonicalCopy sorts a copy of records by (Start, ID).
+func canonicalCopy(records []FlowRecord) []FlowRecord {
+	out := make([]FlowRecord, len(records))
+	copy(out, records)
+	sort.Slice(out, func(a, b int) bool { return recordLess(&out[a], &out[b]) })
+	return out
+}
+
+func TestSliceSourceCanonicalOrder(t *testing.T) {
+	top := testTopology(t)
+	recs := randomRecords(t, top, 2000, netsim.Time(5*time.Minute))
+	// Shuffle away from insertion order to prove sorting happens.
+	for i := range recs {
+		j := (i * 7919) % len(recs)
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	got := drain(t, NewSliceSource(recs))
+	want := canonicalCopy(recs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// writeTraceFile writes records (in the given order) as a JSONL file.
+func writeTraceFile(t *testing.T, records []FlowRecord) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	for i := range records {
+		if err := w.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// FileSource must deliver the identical canonical sequence as
+// SliceSource over the same records, at every chunk size — including
+// chunk sizes that force multi-spill external merges — because digest
+// identity between the in-memory and streaming analysis paths rests on
+// exactly this.
+func TestFileSourceMatchesSliceSourceAcrossChunkSizes(t *testing.T) {
+	top := testTopology(t)
+	recs := randomRecords(t, top, 3000, netsim.Time(5*time.Minute))
+	path := writeTraceFile(t, recs)
+	want := drain(t, NewSliceSource(recs))
+
+	for _, chunk := range []int{0, 7, 64, 1000, 100000} {
+		src, err := OpenFile(path, FileOptions{SortChunk: chunk, TempDir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		got := drain(t, src)
+		if err := src.Close(); err != nil {
+			t.Fatalf("chunk %d: close: %v", chunk, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: got %d records, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: record %d: %+v != %+v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A tiny chunk size with thousands of records exercises the multi-pass
+// merge (spill count far above the fan-in); spill files must all be
+// gone after Close.
+func TestFileSourceSpillCleanup(t *testing.T) {
+	top := testTopology(t)
+	recs := randomRecords(t, top, 2000, netsim.Time(2*time.Minute))
+	path := writeTraceFile(t, recs)
+	tmp := t.TempDir()
+	src, err := OpenFile(path, FileOptions{SortChunk: 10, TempDir: tmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, src); len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(tmp, "dctrace-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("spill files left behind: %v", left)
+	}
+}
+
+func TestFileSourceEmptyAndMissing(t *testing.T) {
+	path := writeTraceFile(t, nil)
+	src, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("empty trace: want io.EOF, got %v", err)
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.jsonl"), FileOptions{}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+)
+
+// feedWindow appends records (canonically sorted) and seals up to t.
+func feedWindow(t *testing.T, w *WindowView, recs []FlowRecord, seal netsim.Time) {
+	t.Helper()
+	for _, r := range canonicalCopy(recs) {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Seal(seal)
+}
+
+// WindowView.Overlapping must agree with RecordView.Overlapping —
+// identical record sequence for every window — since windowed figure
+// tasks were rebased from the one onto the other.
+func TestWindowViewMatchesRecordView(t *testing.T) {
+	top := testTopology(t)
+	horizon := netsim.Time(10 * time.Minute)
+	recs := randomRecords(t, top, 5000, horizon)
+	rv := NewRecordView(recs, top)
+	wv := NewWindowView()
+	feedWindow(t, wv, recs, horizon*2)
+
+	windows := [][2]netsim.Time{
+		{0, horizon},
+		{0, netsim.Time(time.Second)},
+		{horizon / 2, horizon/2 + netsim.Time(10*time.Second)},
+		{horizon - netsim.Time(time.Minute), horizon},
+		{horizon / 3, horizon / 2},
+	}
+	for _, win := range windows {
+		var want, got []FlowRecord
+		rv.Overlapping(win[0], win[1], func(r FlowRecord) { want = append(want, r) })
+		wv.Overlapping(win[0], win[1], func(r FlowRecord) { got = append(got, r) })
+		if len(want) != len(got) {
+			t.Fatalf("window [%v,%v): %d records via WindowView, want %d", win[0], win[1], len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("window [%v,%v): record %d mismatch", win[0], win[1], i)
+			}
+		}
+		slice := wv.Slice(win[0], win[1])
+		if len(slice) != len(want) {
+			t.Fatalf("Slice [%v,%v): %d records, want %d", win[0], win[1], len(slice), len(want))
+		}
+	}
+}
+
+// Retirement must actually reclaim memory, and slices over retired or
+// undelivered spans must panic — the enforcement half of the
+// WindowView contract.
+func TestWindowViewRetirementContract(t *testing.T) {
+	top := testTopology(t)
+	horizon := netsim.Time(10 * time.Minute)
+	recs := randomRecords(t, top, 5000, horizon)
+	wv := NewWindowView()
+	feedWindow(t, wv, recs, horizon)
+
+	before := wv.Buffered()
+	mid := horizon / 2
+	wv.Retire(mid)
+	wv.Compact()
+	if wv.Buffered() >= before {
+		t.Fatalf("compaction did not shrink buffer: %d -> %d", before, wv.Buffered())
+	}
+	if wv.Retired() == 0 {
+		t.Fatal("no records reported retired")
+	}
+
+	// Windows at or above the watermark still work and match a fresh view.
+	rv := NewRecordView(recs, top)
+	var want, got []FlowRecord
+	rv.Overlapping(mid, horizon, func(r FlowRecord) { want = append(want, r) })
+	wv.Overlapping(mid, horizon, func(r FlowRecord) { got = append(got, r) })
+	if len(want) != len(got) {
+		t.Fatalf("post-retirement window: %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("post-retirement window: record %d mismatch", i)
+		}
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("slice below retirement watermark", func() { wv.Slice(mid-1, horizon) })
+	mustPanic("slice beyond delivery watermark", func() { wv.Slice(mid, horizon+1) })
+}
+
+// Appending out of canonical order must be rejected.
+func TestWindowViewRejectsOutOfOrder(t *testing.T) {
+	wv := NewWindowView()
+	a := FlowRecord{ID: 2, Start: netsim.Time(100), End: netsim.Time(200)}
+	b := FlowRecord{ID: 1, Start: netsim.Time(50), End: netsim.Time(60)}
+	if err := wv.Append(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.Append(b); err == nil {
+		t.Fatal("earlier Start accepted after later one")
+	}
+	dup := FlowRecord{ID: 2, Start: netsim.Time(100), End: netsim.Time(300)}
+	if err := wv.Append(dup); err == nil {
+		t.Fatal("duplicate (Start, ID) accepted")
+	}
+}
+
+// Long-lived records must survive compaction as long as any future
+// window can reach them, and instantaneous records exactly at the
+// watermark stay visible.
+func TestWindowViewCompactKeepsReachable(t *testing.T) {
+	wv := NewWindowView()
+	long := FlowRecord{ID: 1, Start: 0, End: netsim.Time(time.Hour)}
+	inst := FlowRecord{ID: 2, Start: netsim.Time(time.Minute), End: netsim.Time(time.Minute)}
+	gone := FlowRecord{ID: 3, Start: netsim.Time(2 * time.Second), End: netsim.Time(30 * time.Second)}
+	for _, r := range []FlowRecord{long, gone, inst} {
+		if err := wv.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wv.Seal(netsim.Time(2 * time.Hour))
+	wv.Retire(netsim.Time(time.Minute))
+	wv.Compact()
+	if wv.Buffered() != 2 {
+		t.Fatalf("buffered %d after compaction, want 2 (long + boundary-instantaneous)", wv.Buffered())
+	}
+	got := wv.Slice(netsim.Time(time.Minute), netsim.Time(2*time.Minute))
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("post-compaction slice wrong: %+v", got)
+	}
+}
