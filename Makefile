@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short smoke-metrics smoke-stream bench bench-snapshot figures day paper-day clean
+.PHONY: all build vet lint test test-short smoke-metrics smoke-stream smoke-fused bench bench-snapshot figures day paper-day clean
 
 all: build vet lint test
 
@@ -35,7 +35,7 @@ lint:
 test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/netsim ./internal/sched
-	$(GO) test -race -run 'TestAnalyzeParallel|TestAnalyzeStream' ./internal/core
+	$(GO) test -race -run 'TestAnalyzeParallel|TestAnalyzeStream|TestRunAnalyze' ./internal/core
 
 test-short:
 	$(GO) test -short ./...
@@ -58,6 +58,16 @@ smoke-stream:
 	GOMEMLIMIT=64MiB $(GO) run ./cmd/dcanalyze -trace smoke-stream.jsonl \
 		-racks 8 -servers 10 -duration 30m -max-heap-mb 64 > /dev/null
 
+# Fused-pipeline smoke test: simulate and analyze overlapped through
+# the watermarked live source under a GOMEMLIMIT soft target, then
+# dcmetrics asserts the run snapshot carries the seam's series
+# (trace.live.* gauges, pipeline.* backpressure counter) alongside the
+# usual subsystems.
+smoke-fused:
+	GOMEMLIMIT=128MiB $(GO) run ./cmd/dcanalyze -fused -racks 8 -servers 10 \
+		-duration 30m -metrics smoke-fused.json > /dev/null
+	$(GO) run ./cmd/dcmetrics -require netsim.,trace.,trace.live.,pipeline. smoke-fused.json
+
 # One benchmark per paper table/figure plus ablations, and the
 # per-package infrastructure benchmarks (simulator, TM, trace, solver).
 bench:
@@ -70,7 +80,7 @@ bench:
 # warm window.
 bench-snapshot:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/netsim | $(GO) run ./cmd/benchjson > BENCH_netsim.json
-	$(GO) test -bench 'BenchmarkAnalyze' -benchmem -run '^$$' ./internal/core | $(GO) run ./cmd/benchjson > BENCH_analyze.json
+	$(GO) test -bench 'BenchmarkAnalyze|BenchmarkRunAnalyze' -benchmem -run '^$$' ./internal/core | $(GO) run ./cmd/benchjson > BENCH_analyze.json
 	$(GO) test -bench 'BenchmarkSparsityMax' -benchmem -run '^$$' -timeout 30m ./internal/tomo | $(GO) run ./cmd/benchjson > BENCH_tomo.json
 
 # Regenerate every figure's data series into ./figures (laptop scale, 2 h).
@@ -86,4 +96,4 @@ paper-day:
 	$(GO) run ./cmd/dcanalyze -paper -tsv figures-paper
 
 clean:
-	rm -rf figures figures-day figures-paper trace.jsonl smoke-metrics.json smoke-stream.jsonl
+	rm -rf figures figures-day figures-paper trace.jsonl smoke-metrics.json smoke-stream.jsonl smoke-fused.json

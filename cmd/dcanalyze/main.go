@@ -14,6 +14,16 @@
 //
 //	dcanalyze -trace trace.jsonl -racks 8 -servers 10 -duration 2h
 //
+// With -fused the simulation and the analysis run as one overlapped
+// pipeline: completed flows stream from the simulator straight into
+// the analysis sweep through a watermarked reorder buffer, producing
+// the full figure set bit-identically to the two-phase default while
+// the two dominant phases share the wall clock. -metrics writes the
+// run's final observability snapshot (including the fused seam's
+// trace.live.* and pipeline.* series) as JSON:
+//
+//	dcanalyze -fused -racks 8 -servers 10 -duration 2h -metrics run.json
+//
 // -mem-profile writes a heap profile captured at the sweep's peak
 // buffered-record window; -max-heap-mb makes dcanalyze exit nonzero if
 // the peak live heap exceeds the bound (GOMEMLIMIT is only a soft
@@ -42,6 +52,8 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Hour, "instrumented window")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "stream this dcsim trace through the analysis instead of simulating")
+	fused := flag.Bool("fused", false, "overlap simulation and analysis in one fused pipeline (identical figures, shared wall clock)")
+	metricsOut := flag.String("metrics", "", "write the run's final metrics snapshot as JSON to this file (simulating modes only)")
 	heat := flag.Bool("heat", false, "print the Figure 2 ASCII heat map")
 	tsvDir := flag.String("tsv", "", "also write every figure's data series as TSV files into this directory")
 	paper := flag.Bool("paper", false, "use the paper-scale configuration (75 racks x 20 servers, 24h)")
@@ -69,10 +81,13 @@ func main() {
 
 	var rep *dctraffic.Report
 	var err error
-	if *traceFile != "" {
+	switch {
+	case *traceFile != "":
 		rep, err = analyzeTrace(*traceFile, *racks, *servers, *duration, aopts)
-	} else {
-		rep, err = simulateAndAnalyze(*paper, *racks, *servers, *duration, *seed, *progress, aopts)
+	case *fused:
+		rep, err = runFused(*paper, *racks, *servers, *duration, *seed, *progress, *metricsOut, aopts)
+	default:
+		rep, err = simulateAndAnalyze(*paper, *racks, *servers, *duration, *seed, *progress, *metricsOut, aopts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcanalyze:", err)
@@ -134,8 +149,9 @@ func main() {
 	}
 }
 
-// simulateAndAnalyze is the default path: fresh run, full figure set.
-func simulateAndAnalyze(paper bool, racks, servers int, duration time.Duration, seed uint64, progress bool, aopts []dctraffic.AnalyzeOption) (*dctraffic.Report, error) {
+// runConfigFor builds the simulated-run configuration the two-phase
+// and fused paths share.
+func runConfigFor(paper bool, racks, servers int, duration time.Duration, seed uint64) dctraffic.RunConfig {
 	cfg := dctraffic.SmallRun()
 	if paper {
 		cfg = dctraffic.PaperRun()
@@ -147,9 +163,16 @@ func simulateAndAnalyze(paper bool, racks, servers int, duration time.Duration, 
 	}
 	cfg.Seed = seed
 	cfg.Sched.Seed = seed
-	var runOpts []dctraffic.RunOption
+	return cfg
+}
+
+// simRunOptions assembles the run options the simulating paths share:
+// the -progress reporter and the -metrics snapshot sink. The returned
+// closer flushes the metrics file after the run completes.
+func simRunOptions(progress bool, metricsPath string) (opts []dctraffic.RunOption, closeFn func() error, err error) {
+	closeFn = func() error { return nil }
 	if progress {
-		runOpts = append(runOpts, dctraffic.WithProgress(func(p dctraffic.Progress) {
+		opts = append(opts, dctraffic.WithProgress(func(p dctraffic.Progress) {
 			fmt.Fprintf(os.Stderr, "\rsim %3.0f%%  t=%v  events=%d  records=%d",
 				100*p.Frac(), p.SimTime, p.Events, p.Records)
 			if p.Frac() >= 1 {
@@ -157,11 +180,55 @@ func simulateAndAnalyze(paper bool, racks, servers int, duration time.Duration, 
 			}
 		}))
 	}
-	rr, err := dctraffic.Run(context.Background(), cfg, runOpts...)
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, dctraffic.WithMetricsSink(f))
+		closeFn = f.Close
+	}
+	return opts, closeFn, nil
+}
+
+// simulateAndAnalyze is the default path: fresh run, full figure set.
+func simulateAndAnalyze(paper bool, racks, servers int, duration time.Duration, seed uint64, progress bool, metricsPath string, aopts []dctraffic.AnalyzeOption) (*dctraffic.Report, error) {
+	cfg := runConfigFor(paper, racks, servers, duration, seed)
+	runOpts, closeMetrics, err := simRunOptions(progress, metricsPath)
 	if err != nil {
 		return nil, err
 	}
-	return dctraffic.AnalyzeRun(context.Background(), rr, aopts...)
+	rr, err := dctraffic.Run(context.Background(), cfg, runOpts...)
+	if err != nil {
+		closeMetrics()
+		return nil, err
+	}
+	rep, err := dctraffic.AnalyzeRun(context.Background(), rr, aopts...)
+	if cerr := closeMetrics(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return rep, err
+}
+
+// runFused overlaps the two dominant phases: the simulator's completed
+// flows stream through the watermarked live source straight into the
+// analysis sweep, so record-derived figures compute while the cluster
+// still runs and the trace is never sorted into a second copy. With
+// -progress both phases report interleaved on stderr (the "sim" line
+// from the run loop, the "analyze" line from the sweep). Figures are
+// bit-identical to the two-phase default.
+func runFused(paper bool, racks, servers int, duration time.Duration, seed uint64, progress bool, metricsPath string, aopts []dctraffic.AnalyzeOption) (*dctraffic.Report, error) {
+	cfg := runConfigFor(paper, racks, servers, duration, seed)
+	runOpts, closeMetrics, err := simRunOptions(progress, metricsPath)
+	if err != nil {
+		return nil, err
+	}
+	aopts = append(aopts, dctraffic.WithRunOptions(runOpts...))
+	_, rep, err := dctraffic.RunAnalyze(context.Background(), cfg, aopts...)
+	if cerr := closeMetrics(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return rep, err
 }
 
 // analyzeTrace streams a trace file through the bounded-memory pipeline:

@@ -27,6 +27,15 @@
 // memory (see OpenTraceFile), with WithAnalyzeParallelism,
 // WithInactivityTimeout and friends tuning the figures.
 //
+// RunAnalyze fuses the two phases: the simulator feeds the analyzer
+// live through a watermarked reorder buffer, so record-derived figure
+// work overlaps the simulation and the trace is never re-sorted into a
+// second copy — same report, bit for bit:
+//
+//	rr, report, err := dctraffic.RunAnalyze(ctx, dctraffic.SmallRun())
+//	if err != nil { ... }
+//	fmt.Println(report.Text())
+//
 // The Report contains one field per figure in the paper; EXPERIMENTS.md
 // records paper-vs-measured values. For standalone synthetic traffic
 // generation (no cluster simulation), use PaperModelFor / FitModel.
@@ -170,6 +179,27 @@ func AnalyzeRun(ctx context.Context, rr *RunResult, opts ...AnalyzeOption) (*Rep
 func AnalyzeSource(ctx context.Context, src TraceSource, opts ...AnalyzeOption) (*Report, error) {
 	return core.AnalyzeSource(ctx, src, opts...)
 }
+
+// RunAnalyze runs the simulation and the analysis as one fused
+// pipeline: the simulator's completed flows stream through a
+// watermarked reorder buffer straight into the analysis sweep, so the
+// record-derived figures compute while the cluster still runs. The
+// report is bit-identical to Run followed by AnalyzeRun at every
+// worker-count combination. Cancellation of ctx, a simulation error,
+// or an analysis error unwinds both phases before RunAnalyze returns.
+func RunAnalyze(ctx context.Context, cfg RunConfig, opts ...AnalyzeOption) (*RunResult, *Report, error) {
+	return core.RunAnalyze(ctx, cfg, opts...)
+}
+
+// WithRunOptions forwards run options (WithProgress, WithObserver,
+// WithMetricsSink, ...) to the simulation phase of RunAnalyze.
+func WithRunOptions(opts ...RunOption) AnalyzeOption { return core.WithRunOptions(opts...) }
+
+// WithLiveBuffer bounds RunAnalyze's released-record FIFO (records the
+// watermark has freed but the analyzer has not yet consumed); the
+// simulator blocks once the FIFO fills. 0 means the default. The bound
+// never changes results, only the backpressure point.
+func WithLiveBuffer(n int) AnalyzeOption { return core.WithLiveBuffer(n) }
 
 // OpenTraceFile opens a JSONL (optionally gzip-compressed) flow trace as
 // a TraceSource for AnalyzeSource, sorting out-of-order records through

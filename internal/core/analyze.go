@@ -36,6 +36,14 @@ type analyzeConfig struct {
 	run      *RunResult
 	cdfCap   int
 	progress func(StreamProgress)
+
+	// Fused-pipeline fields (see fused.go). live marks the source as a
+	// still-running simulation's LiveSource: the run-only inputs
+	// (episodes, tomography, Figure 8) are deferred until the source
+	// drains, because they read simulator state that is only final then.
+	live    *trace.LiveSource
+	liveCap int
+	runOpts []RunOption
 }
 
 // WithRun supplies the run whose trace is being analyzed: its topology
@@ -228,6 +236,16 @@ type chunkResult struct {
 	attr         congestion.Attribution
 }
 
+// tomoDeferred is one tomography window parked by the fused pipeline:
+// the window slice is captured at its sweep boundary (identical to the
+// two-phase slice) but solved only after the simulation drains, because
+// the job event log it reads is written until then.
+type tomoDeferred struct {
+	idx      int
+	from, to netsim.Time
+	slice    []trace.FlowRecord
+}
+
 // streamAnalysis is the coordinator state of one AnalyzeSource sweep.
 type streamAnalysis struct {
 	cfg      *analyzeConfig
@@ -237,6 +255,13 @@ type streamAnalysis struct {
 	numHosts int
 	pool     *streamPool
 	taskCnt  *obs.Counter
+
+	// fused marks a live (still-running-simulation) source: run-derived
+	// work is deferred to finishRun, record-derived work streams as
+	// usual. See fused.go.
+	fused         bool
+	pendingChunks [][]trace.FlowRecord
+	tomoPending   []tomoDeferred
 
 	src    trace.Source
 	peeked *trace.FlowRecord
@@ -334,6 +359,9 @@ func AnalyzeSource(ctx context.Context, src trace.Source, opts ...AnalyzeOption)
 		return nil, errors.New("core: AnalyzeSource needs a positive duration: pass WithRun or WithDuration")
 	}
 	cfg.AnalyzeOptions = cfg.AnalyzeOptions.ApplyDefaults(cfg.duration)
+	if cfg.live != nil && cfg.run == nil {
+		return nil, errors.New("core: fused analysis needs its run: use RunAnalyze")
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: analyze canceled: %w", err)
 	}
@@ -355,6 +383,7 @@ func AnalyzeSource(ctx context.Context, src trace.Source, opts ...AnalyzeOption)
 		numHosts: cfg.top.NumHosts(),
 		src:      src,
 		wv:       trace.NewWindowView(),
+		fused:    cfg.live != nil,
 	}
 
 	stopIndex := reg.StartPhase("analyze.index")
@@ -371,6 +400,14 @@ func AnalyzeSource(ctx context.Context, src trace.Source, opts ...AnalyzeOption)
 			return nil, fmt.Errorf("core: analyze canceled: %w", ctx.Err())
 		}
 		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	if a.fused {
+		// The source hit EOF, so the producing simulation has finished:
+		// the run-only inputs are final and the deferred work can run.
+		if err := a.finishRun(ctx); err != nil {
+			a.pool.wait()
+			return nil, fmt.Errorf("core: analyze canceled: %w", err)
+		}
 	}
 	if err := a.pool.wait(); err != nil {
 		return nil, fmt.Errorf("core: analyze canceled: %w", err)
@@ -404,14 +441,18 @@ func (a *streamAnalysis) setup() {
 
 	if rr := cfg.run; rr != nil {
 		a.links = a.top.InterSwitchLinks()
-		a.eps = congestion.Detect(rr.Net.Stats(), a.top, cfg.CongestionThreshold, a.links)
-		a.epIdx = congestion.NewEpisodeIndex(a.eps)
-		a.binSize = rr.Net.Stats().BinSize()
 		a.fig7Overlap = stats.NewStreamCDF(cfg.cdfCap)
 		a.fig7All = stats.NewStreamCDF(cfg.cdfCap)
 		a.tomoProblem = tomo.NewProblem(a.top)
 		a.tomoEst = a.tomoProblem.NewEstimator(tomo.EstimatorOptions{Cold: cfg.TomoCold})
 		a.xTrue = make([]float64, a.tomoProblem.NumPairs())
+		if !a.fused {
+			// Fused mode defers episode detection to finishRun: the link
+			// stats are still being written by the simulation here.
+			a.eps = congestion.Detect(rr.Net.Stats(), a.top, cfg.CongestionThreshold, a.links)
+			a.epIdx = congestion.NewEpisodeIndex(a.eps)
+			a.binSize = rr.Net.Stats().BinSize()
+		}
 	}
 
 	// The window registry: every figure window, built from the duration
@@ -547,7 +588,7 @@ func (a *streamAnalysis) deliver(r trace.FlowRecord) error {
 		a.rawStartsBefore++
 	}
 	a.incast.Observe(&r)
-	if a.epIdx != nil {
+	if a.epIdx != nil || a.fused {
 		a.chunkBuf = append(a.chunkBuf, r)
 		if len(a.chunkBuf) >= recordShardTarget {
 			a.flushChunk()
@@ -577,13 +618,26 @@ func (a *streamAnalysis) consumeFlow(r trace.FlowRecord) {
 	a.ia.Observe(&r)
 }
 
-// flushChunk submits the buffered record chunk as a pool task.
+// flushChunk seals the buffered record chunk. Chunk boundaries depend
+// only on the record count (rule 1), so the fused and two-phase paths
+// cut identical chunks; fused mode parks them until the episode index
+// exists (finishRun), the two-phase path submits immediately.
 func (a *streamAnalysis) flushChunk() {
 	if len(a.chunkBuf) == 0 {
 		return
 	}
 	chunk := a.chunkBuf
 	a.chunkBuf = nil
+	if a.epIdx == nil {
+		a.pendingChunks = append(a.pendingChunks, chunk)
+		return
+	}
+	a.submitChunk(chunk)
+}
+
+// submitChunk hands one sealed chunk to the pool as an episode-join
+// task.
+func (a *streamAnalysis) submitChunk(chunk []trace.FlowRecord) {
 	slot := &chunkResult{}
 	a.chunkSlots = append(a.chunkSlots, slot)
 	a.taskCnt.Inc()
@@ -633,8 +687,47 @@ func (a *streamAnalysis) dispatch(w *figWindow) {
 			a.fig10Mats[i] = tm.ServerMatrix(slice, a.numHosts, from, to)
 		}))
 	case winTomo:
+		if a.fused {
+			// The estimator chain reads the job event log, which the
+			// still-running simulation is writing: park the window's slice
+			// (captured here, so it is identical to the two-phase slice)
+			// and solve the chain in window order in finishRun.
+			a.tomoPending = append(a.tomoPending, tomoDeferred{idx: w.idx, from: from, to: to, slice: slice})
+			return
+		}
 		a.tomoWindow(w.idx, from, to, slice)
 	}
+}
+
+// finishRun executes the run-derived work a fused sweep deferred. It
+// runs after the source hit EOF — the producing simulation has
+// returned, so the link stats, job event log and collector are final
+// and reading them cannot race. Episode detection, the parked chunk
+// submissions and the tomography chain all happen in the same order the
+// two-phase path uses, so results are bit-identical.
+func (a *streamAnalysis) finishRun(ctx context.Context) error {
+	cfg := a.cfg
+	rr := cfg.run
+	a.eps = congestion.Detect(rr.Net.Stats(), a.top, cfg.CongestionThreshold, a.links)
+	a.epIdx = congestion.NewEpisodeIndex(a.eps)
+	a.binSize = rr.Net.Stats().BinSize()
+	for _, chunk := range a.pendingChunks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a.submitChunk(chunk)
+	}
+	a.pendingChunks = nil
+	for i := range a.tomoPending {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d := &a.tomoPending[i]
+		a.tomoWindow(d.idx, d.from, d.to, d.slice)
+		d.slice = nil
+	}
+	a.tomoPending = nil
+	return nil
 }
 
 // tomoWindow runs one tomography window through the shared warm-start

@@ -58,6 +58,50 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	}
 }
 
+// benchFusedConfig is the end-to-end configuration the fused/two-phase
+// pair times: unlike the other analyze benchmarks, these two simulate
+// per iteration, because the phase overlap is the thing measured.
+func benchFusedConfig() RunConfig {
+	cfg := SmallRun()
+	cfg.Duration = 30 * time.Minute
+	cfg.DrainTime = 10 * time.Minute
+	return cfg
+}
+
+// BenchmarkRunAnalyzeTwoPhase is the baseline the fused pipeline is
+// judged against: simulate to completion, then analyze the materialized
+// record log — the sum of the two phases.
+func BenchmarkRunAnalyzeTwoPhase(b *testing.B) {
+	cfg := benchFusedConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := AnalyzeRun(context.Background(), rr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAnalyzeFused times the fused pipeline end to end: the
+// simulator feeds the analyzer through the live watermarked source, so
+// record-derived analysis overlaps simulation and the canonical-order
+// materialize/sort step disappears. Report digests are bit-identical to
+// the two-phase baseline (TestRunAnalyzeMatchesTwoPhase).
+func BenchmarkRunAnalyzeFused(b *testing.B) {
+	cfg := benchFusedConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunAnalyze(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAnalyzeStream times the bounded-memory path: the same
 // records streamed from a trace file through AnalyzeSource, including
 // the JSONL decode the file source pays per iteration. ReportAllocs

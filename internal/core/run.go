@@ -210,6 +210,31 @@ func Simulate(cfg RunConfig) (*RunResult, error) {
 // cancellation it returns an error wrapping ctx.Err() promptly (within
 // one batch). The metrics snapshot lands in RunResult.Metrics.
 func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, error) {
+	p, err := prepareRun(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(ctx)
+}
+
+// preparedRun is a built-but-not-yet-run simulation: RunAnalyze splits
+// Run at this seam so it can wire the collector's record sink and hand
+// the RunResult to the analyzer before the event loop starts.
+type preparedRun struct {
+	rr *RunResult
+	o  runOptions
+	sw obs.Stopwatch
+
+	// recordSink, when set, is fed the live record stream: the event
+	// loop advances its watermark at every batch boundary. Set between
+	// prepareRun and execute (see RunAnalyze).
+	recordSink *trace.LiveSource
+}
+
+// prepareRun validates the config and builds the whole cluster —
+// topology, network, collector, event log, store, scheduler — under the
+// "build" obs phase, leaving the event loop to execute.
+func prepareRun(cfg RunConfig, opts ...RunOption) (*preparedRun, error) {
 	o := runOptions{progressEvery: time.Minute}
 	for _, opt := range opts {
 		opt(&o)
@@ -257,6 +282,27 @@ func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, err
 	cluster.Start(cfg.Duration)
 	stopBuild()
 
+	rr := &RunResult{
+		Config:    cfg,
+		Top:       top,
+		Net:       net,
+		Cluster:   cluster,
+		Store:     store,
+		Collector: collector,
+		Log:       log,
+	}
+	return &preparedRun{rr: rr, o: o, sw: sw}, nil
+}
+
+// execute runs the prepared simulation's event loop to completion and
+// finalizes the metrics snapshot.
+func (p *preparedRun) execute(ctx context.Context) (*RunResult, error) {
+	o := &p.o
+	reg := o.reg
+	rr := p.rr
+	cfg := rr.Config
+	net, collector, cluster := rr.Net, rr.Collector, rr.Cluster
+
 	// The event loop, sliced into batches. Slicing is exact: running to
 	// t1 then t2 executes the same events in the same order as one run
 	// to t2, so batch size affects only observability granularity.
@@ -273,6 +319,17 @@ func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, err
 			t = total
 		}
 		net.Run(t)
+		if p.recordSink != nil {
+			// After Run(t) every pending event is strictly later than t,
+			// so a record not yet emitted has Start > t or belongs to a
+			// still-active flow; min(t+1, earliest active Start) is a
+			// sound release watermark (see trace.LiveSource).
+			w := t + 1
+			if s, ok := net.EarliestActiveStart(); ok && s < w {
+				w = s
+			}
+			p.recordSink.Advance(w)
+		}
 		peakQueue.SetMax(float64(net.Pending()))
 		peakFlows.SetMax(float64(net.ActiveFlows()))
 		var heap uint64
@@ -283,7 +340,7 @@ func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, err
 			o.progress(Progress{
 				SimTime:        t,
 				SimDuration:    total,
-				WallElapsed:    sw.Elapsed(),
+				WallElapsed:    p.sw.Elapsed(),
 				Events:         net.EventsProcessed(),
 				QueueDepth:     net.Pending(),
 				ActiveFlows:    net.ActiveFlows(),
@@ -299,15 +356,6 @@ func Run(ctx context.Context, cfg RunConfig, opts ...RunOption) (*RunResult, err
 	net.Flush()
 	stopSim()
 
-	rr := &RunResult{
-		Config:    cfg,
-		Top:       top,
-		Net:       net,
-		Cluster:   cluster,
-		Store:     store,
-		Collector: collector,
-		Log:       log,
-	}
 	if reg != nil {
 		reg.SampleRuntime()
 		rr.Metrics = reg.Snapshot()

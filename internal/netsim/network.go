@@ -247,6 +247,24 @@ func (n *Network) Stats() *LinkStats { return n.stats }
 // ActiveFlows reports the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.active) }
 
+// EarliestActiveStart returns the minimum Start time among in-flight
+// flows (false when none are active). Together with the simulation
+// clock it bounds the release watermark of a live record stream: any
+// record still to come belongs either to an active flow (Start >= this
+// minimum) or to a flow not yet started (Start > the clock).
+func (n *Network) EarliestActiveStart() (Time, bool) {
+	if len(n.active) == 0 {
+		return 0, false
+	}
+	earliest := n.active[0].Start
+	for _, f := range n.active[1:] {
+		if f.Start < earliest {
+			earliest = f.Start
+		}
+	}
+	return earliest, true
+}
+
 // FlowsStarted reports the cumulative number of flows started.
 func (n *Network) FlowsStarted() int64 { return n.flowsStarted }
 

@@ -34,6 +34,36 @@ func BenchmarkReadJSONL(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteBinary measures the spill codec's serialization
+// throughput — the recorded number behind replacing JSONL on the
+// external-sort spill path.
+func BenchmarkWriteBinary(b *testing.B) {
+	recs := sampleRecords(10_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteBinary(io.Discard, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBinary measures the spill codec's parsing throughput.
+func BenchmarkReadBinary(b *testing.B) {
+	recs := sampleRecords(10_000)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWriteJSONLGz measures compressed-upload throughput (the §2
 // pipeline) and reports the achieved ratio.
 func BenchmarkWriteJSONLGz(b *testing.B) {

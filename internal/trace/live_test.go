@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"dctraffic/internal/netsim"
+	"dctraffic/internal/obs"
+)
+
+// liveRec builds a minimal record; canonical order is (Start, ID).
+func liveRec(id int64, start, end netsim.Time) FlowRecord {
+	return FlowRecord{ID: netsim.FlowID(id), Start: start, End: end, Bytes: 1}
+}
+
+// drainLive collects everything until EOF, failing on any other error.
+func drainLive(t *testing.T, l *LiveSource) []FlowRecord {
+	t.Helper()
+	var out []FlowRecord
+	for {
+		rec, err := l.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// TestLiveSourceAdversarialOrder drives the reorder buffer with the
+// worst completion order the simulator can produce: a long-lived
+// elephant flow that starts first and ends last pins the watermark at
+// its Start while dozens of later-starting flows complete (in reverse
+// start order, for spite), including simultaneous starts that must
+// tie-break by ID.
+func TestLiveSourceAdversarialOrder(t *testing.T) {
+	l := NewLiveSource(0)
+	reg := obs.NewRegistry()
+	l.Instrument(reg)
+
+	const elephantStart = netsim.Time(10)
+	// Mice complete first, in reverse start order; ties at Start 500.
+	for i := 20; i > 0; i-- {
+		l.Emit(liveRec(int64(100+i), netsim.Time(1000+10*i), netsim.Time(2000-10*netsim.Time(i))))
+	}
+	l.Emit(liveRec(31, 500, 1500))
+	l.Emit(liveRec(30, 500, 1600)) // same Start, lower ID, emitted later
+	// Watermark moves but stays pinned at the elephant's Start: nothing
+	// with Start >= 10 may be released while the elephant is active.
+	l.Advance(elephantStart)
+	if got := l.Buffered(); got != 22 {
+		t.Fatalf("buffered %d, want 22 (watermark pinned by elephant)", got)
+	}
+	// The elephant finally completes; the producer's next watermark
+	// jumps past every buffered Start.
+	l.Emit(liveRec(1, elephantStart, 5000))
+	l.Advance(5001)
+	l.CloseSend(nil)
+
+	got := drainLive(t, l)
+	if len(got) != 23 {
+		t.Fatalf("drained %d records, want 23", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := &got[i-1], &got[i]
+		if !recordLess(a, b) {
+			t.Fatalf("record %d out of canonical order: (%v,%d) then (%v,%d)",
+				i, a.Start, a.ID, b.Start, b.ID)
+		}
+	}
+	if got[0].ID != 1 {
+		t.Fatalf("first record ID %d, want the elephant (1)", got[0].ID)
+	}
+	if got[1].ID != 30 || got[2].ID != 31 {
+		t.Fatalf("simultaneous starts must tie-break by ID: got %d then %d, want 30 then 31",
+			got[1].ID, got[2].ID)
+	}
+	if peak := l.PeakBuffered(); peak != 23 {
+		t.Fatalf("peak buffered %d, want 23", peak)
+	}
+
+	// A second EOF read and the idempotent CloseSend must both hold.
+	if _, err := l.Next(); err != io.EOF {
+		t.Fatalf("Next after drain: %v, want io.EOF", err)
+	}
+	l.CloseSend(nil)
+}
+
+// TestLiveSourceBackpressure fills a tiny FIFO and checks Advance
+// blocks until the consumer drains, counting the waits.
+func TestLiveSourceBackpressure(t *testing.T) {
+	l := NewLiveSource(2)
+	for i := 0; i < 6; i++ {
+		l.Emit(liveRec(int64(i), netsim.Time(i), netsim.Time(100+i)))
+	}
+	advanced := make(chan struct{})
+	go func() {
+		l.Advance(100) // wants to release 6 into a FIFO of 2: must block
+		l.CloseSend(nil)
+		close(advanced)
+	}()
+	select {
+	case <-advanced:
+		t.Fatal("Advance returned without consumer draining a full FIFO")
+	case <-time.After(20 * time.Millisecond):
+	}
+	got := drainLive(t, l)
+	<-advanced
+	if len(got) != 6 {
+		t.Fatalf("drained %d, want 6", len(got))
+	}
+	if l.Watermark() != 100 {
+		t.Fatalf("watermark %v, want 100", l.Watermark())
+	}
+}
+
+// TestLiveSourceProducerError checks a failed producer preempts
+// buffered records: the consumer must see the error, not a truncated
+// stream that looks complete.
+func TestLiveSourceProducerError(t *testing.T) {
+	l := NewLiveSource(0)
+	l.Emit(liveRec(1, 0, 5))
+	l.Advance(10)
+	wantErr := io.ErrUnexpectedEOF
+	l.CloseSend(wantErr)
+	if _, err := l.Next(); err != wantErr {
+		t.Fatalf("Next after failed CloseSend: %v, want %v (released records must not mask the failure)", err, wantErr)
+	}
+}
+
+// TestLiveSourceConsumerClose cancels from the consumer side mid-stream
+// and asserts the producer goroutine unblocks and exits: Close must
+// wake a Advance blocked on a full FIFO and turn further Emit/Advance
+// into no-ops.
+func TestLiveSourceConsumerClose(t *testing.T) {
+	l := NewLiveSource(1)
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		for i := 0; i < 100; i++ {
+			l.Emit(liveRec(int64(i), netsim.Time(i), netsim.Time(1000+i)))
+		}
+		l.Advance(1000) // blocks on the 1-record FIFO until Close
+		for i := 100; i < 200; i++ {
+			l.Emit(liveRec(int64(i), netsim.Time(i), netsim.Time(1000+i)))
+		}
+		l.Advance(2000)
+		l.CloseSend(nil)
+	}()
+	if _, err := l.Next(); err != nil { // take one so the producer is mid-Advance
+		t.Fatalf("Next: %v", err)
+	}
+	wantErr := io.ErrClosedPipe
+	l.Close(wantErr)
+	select {
+	case <-producerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after consumer Close")
+	}
+	if _, err := l.Next(); err != wantErr {
+		t.Fatalf("Next after Close: %v, want %v", err, wantErr)
+	}
+	if got := l.Buffered(); got != 0 {
+		t.Fatalf("buffered %d after Close, want 0 (memory released)", got)
+	}
+}
+
+// TestLiveSourceEmitBelowWatermarkPanics pins the soundness check: a
+// record below the watermark means the producer's frontier lied, and
+// silently reordering would corrupt every downstream figure.
+func TestLiveSourceEmitBelowWatermarkPanics(t *testing.T) {
+	l := NewLiveSource(0)
+	l.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Emit below watermark: want panic")
+		}
+	}()
+	l.Emit(liveRec(1, 50, 60))
+}

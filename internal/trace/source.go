@@ -79,10 +79,13 @@ const (
 // FileSource streams a JSONL trace file (TraceWriter output, .gz
 // accepted) in canonical order without ever materializing the whole
 // trace: records are read in SortChunk-sized chunks, each chunk is
-// sorted and spilled to a temporary JSONL file, and the spill files are
+// sorted and spilled to a temporary file, and the spill files are
 // k-way merged (multi-pass above mergeFanIn inputs). A trace that fits
 // in one chunk never touches disk. Memory is O(SortChunk) during
-// loading and O(fan-in) during streaming.
+// loading and O(fan-in) during streaming. Spills use the binary codec
+// (binary.go) — spill/merge is internal I/O, invisible to callers, and
+// the fixed-width format parses several times faster than JSONL —
+// while JSONL stays the interchange format of the trace file itself.
 //
 // Collector output is nearly sorted already (completion order), so
 // spill chunks overlap only slightly and the merge heap stays shallow.
@@ -95,7 +98,7 @@ type FileSource struct {
 
 	// merge path
 	files  []*os.File
-	rds    []*Reader
+	rds    []*BinaryReader
 	h      srcHeap
 	primed bool
 	closed bool
@@ -182,12 +185,16 @@ func (s *FileSource) spill(chunk []FlowRecord) error {
 }
 
 func (s *FileSource) spillSorted(chunk []FlowRecord) error {
-	f, err := os.CreateTemp(s.opts.TempDir, "dctrace-spill-*.jsonl")
+	f, err := os.CreateTemp(s.opts.TempDir, "dctrace-spill-*.bin")
 	if err != nil {
 		return fmt.Errorf("trace: spill: %w", err)
 	}
 	s.spills = append(s.spills, f.Name())
-	w := NewWriter(f)
+	w, err := NewBinaryWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
 	for i := range chunk {
 		if err := w.Write(&chunk[i]); err != nil {
 			f.Close()
@@ -208,11 +215,16 @@ func (s *FileSource) mergeToFile(paths []string) (string, error) {
 		return "", err
 	}
 	defer closeAll(files)
-	out, err := os.CreateTemp(s.opts.TempDir, "dctrace-merge-*.jsonl")
+	out, err := os.CreateTemp(s.opts.TempDir, "dctrace-merge-*.bin")
 	if err != nil {
 		return "", fmt.Errorf("trace: merge spill: %w", err)
 	}
-	w := NewWriter(out)
+	w, err := NewBinaryWriter(out)
+	if err != nil {
+		out.Close()
+		os.Remove(out.Name())
+		return "", err
+	}
 	for h.Len() > 0 {
 		rec, err := popMerge(&h, rds)
 		if err != nil {
@@ -315,9 +327,9 @@ func (h *srcHeap) Pop() (popped any) {
 }
 
 // openMerge opens each path and seeds the merge heap with its head.
-func openMerge(paths []string) ([]*os.File, []*Reader, srcHeap, error) {
+func openMerge(paths []string) ([]*os.File, []*BinaryReader, srcHeap, error) {
 	files := make([]*os.File, 0, len(paths))
-	rds := make([]*Reader, 0, len(paths))
+	rds := make([]*BinaryReader, 0, len(paths))
 	var h srcHeap
 	for i, p := range paths {
 		f, err := os.Open(p)
@@ -326,7 +338,11 @@ func openMerge(paths []string) ([]*os.File, []*Reader, srcHeap, error) {
 			return nil, nil, nil, fmt.Errorf("trace: open spill: %w", err)
 		}
 		files = append(files, f)
-		rd := NewReader(f)
+		rd, err := NewBinaryReader(f)
+		if err != nil {
+			closeAll(files)
+			return nil, nil, nil, err
+		}
 		rds = append(rds, rd)
 		rec, err := rd.Read()
 		if err == io.EOF {
@@ -343,7 +359,7 @@ func openMerge(paths []string) ([]*os.File, []*Reader, srcHeap, error) {
 }
 
 // popMerge pops the smallest head and refills from its input.
-func popMerge(h *srcHeap, rds []*Reader) (FlowRecord, error) {
+func popMerge(h *srcHeap, rds []*BinaryReader) (FlowRecord, error) {
 	top := (*h)[0]
 	next, err := rds[top.src].Read()
 	switch {

@@ -122,6 +122,10 @@ type Collector struct {
 	// Metric handles (nil when uninstrumented; methods are nil-safe).
 	metRecords      *obs.Counter
 	metSocketEvents *obs.Counter
+
+	// sink, when set, receives each record as it is appended (see
+	// SetSink).
+	sink func(FlowRecord)
 }
 
 // NewCollector builds a collector for the topology.
@@ -166,14 +170,27 @@ func (c *Collector) FlowEnded(f *netsim.Flow) {
 	// event each.
 	c.account(f.Src, ops+1, moved)
 	c.account(f.Dst, ops+1, moved)
-	c.records = append(c.records, FlowRecord{
+	rec := FlowRecord{
 		ID: f.ID, Src: f.Src, Dst: f.Dst,
 		SrcPort: f.SrcPort, DstPort: f.DstPort,
 		Start: f.Start, End: f.End, Bytes: moved, Tag: f.Tag,
 		Canceled: f.Canceled,
-	})
+	}
+	c.records = append(c.records, rec)
 	c.metRecords.Inc()
+	if c.sink != nil {
+		c.sink(rec)
+	}
 }
+
+// SetSink registers a callback invoked with each record as it is
+// appended to the log. FlowEnded callbacks run on the simulation's
+// coordinator goroutine after the fixed-order completion merge, so the
+// sink sees records in the same deterministic completion order
+// Records() accumulates — this is the emission path core.RunAnalyze
+// feeds a LiveSource from. The sink must not block unboundedly on the
+// consumer (LiveSource.Emit never does).
+func (c *Collector) SetSink(fn func(FlowRecord)) { c.sink = fn }
 
 func (c *Collector) account(s topology.ServerID, events, bytes int64) {
 	if c.top.IsExternal(s) {
