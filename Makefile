@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short smoke-metrics smoke-stream smoke-fused bench bench-snapshot figures day paper-day clean
+.PHONY: all build vet lint test test-short smoke-metrics smoke-stream smoke-fused smoke-sweep bench bench-snapshot figures day paper-day clean
 
 all: build vet lint test
 
@@ -36,6 +36,7 @@ test: vet lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/netsim ./internal/sched
 	$(GO) test -race -run 'TestAnalyzeParallel|TestAnalyzeStream|TestRunAnalyze' ./internal/core
+	$(GO) test -race -run 'TestFleet' ./internal/fleet
 
 test-short:
 	$(GO) test -short ./...
@@ -68,6 +69,16 @@ smoke-fused:
 		-duration 30m -metrics smoke-fused.json > /dev/null
 	$(GO) run ./cmd/dcmetrics -require netsim.,trace.,trace.live.,pipeline. smoke-fused.json
 
+# Fleet-executor smoke test: a 3-seed 30 m sweep run concurrently under
+# a global GOMEMLIMIT (the admission gate derives its budget from it),
+# then dcmetrics asserts the merged snapshot carries the fleet scheduler
+# series, the cross-run subsystem rollup and the per-run sections.
+smoke-sweep:
+	GOMEMLIMIT=256MiB $(GO) run ./cmd/dcsweep -racks 8 -servers 10 \
+		-duration 30m -drain 10m -seeds 1,2,3 -n 2 -progress \
+		-metrics smoke-sweep.json -json smoke-sweep-manifest.json > /dev/null
+	$(GO) run ./cmd/dcmetrics -require fleet.,netsim.,trace.,analyze.,run0.,run1.,run2. smoke-sweep.json
+
 # One benchmark per paper table/figure plus ablations, and the
 # per-package infrastructure benchmarks (simulator, TM, trace, solver).
 bench:
@@ -82,6 +93,7 @@ bench-snapshot:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/netsim | $(GO) run ./cmd/benchjson > BENCH_netsim.json
 	$(GO) test -bench 'BenchmarkAnalyze|BenchmarkRunAnalyze' -benchmem -run '^$$' ./internal/core | $(GO) run ./cmd/benchjson > BENCH_analyze.json
 	$(GO) test -bench 'BenchmarkSparsityMax' -benchmem -run '^$$' -timeout 30m ./internal/tomo | $(GO) run ./cmd/benchjson > BENCH_tomo.json
+	$(GO) test -bench 'BenchmarkFleet' -benchmem -run '^$$' ./internal/fleet | $(GO) run ./cmd/benchjson > BENCH_fleet.json
 
 # Regenerate every figure's data series into ./figures (laptop scale, 2 h).
 figures:
@@ -96,4 +108,4 @@ paper-day:
 	$(GO) run ./cmd/dcanalyze -paper -tsv figures-paper
 
 clean:
-	rm -rf figures figures-day figures-paper trace.jsonl smoke-metrics.json smoke-stream.jsonl smoke-fused.json
+	rm -rf figures figures-day figures-paper trace.jsonl smoke-metrics.json smoke-stream.jsonl smoke-fused.json smoke-sweep.json smoke-sweep-manifest.json

@@ -2,9 +2,24 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dctraffic/internal/netsim"
 )
+
+// defaultParallelism resolves a zero Parallelism option: GOMAXPROCS,
+// clamped to 1 on a single-proc box so the streaming pool (and its
+// channel handoffs) is never spun up when there is no parallelism to
+// buy with it. Mirrors netsim.DefaultWorkers; an explicit
+// WithParallelism is always honored unchanged.
+func defaultParallelism() int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return p
+	}
+	return 1
+}
 
 // The analysis pipeline's determinism contract, in three rules:
 //
@@ -127,6 +142,8 @@ const maxRecordShards = 32
 type streamPool struct {
 	ctx    context.Context
 	seq    bool
+	exec   netsim.Executor // external shared pool; nil → own goroutines
+	sem    chan struct{}   // exec mode: caps in-flight tasks at workers
 	tasks  chan func()
 	wg     sync.WaitGroup
 	failed atomic.Pointer[poolPanic]
@@ -139,9 +156,25 @@ type poolPanic struct{ val any }
 // newStreamPool starts workers goroutines (none when workers <= 1:
 // submit then runs tasks inline, the sequential reference path).
 func newStreamPool(ctx context.Context, workers int) *streamPool {
+	return newStreamPoolExec(ctx, workers, nil)
+}
+
+// newStreamPoolExec is newStreamPool with an optional external
+// executor. With exec non-nil the pool owns no goroutines: submit hands
+// tasks to exec and a semaphore caps in-flight tasks at workers, so the
+// O(window) backpressure bound is identical to the own-goroutine mode —
+// a saturated pool still blocks the sweep. The ready-prefix merge
+// contract is unchanged (done channels close per task, merges happen on
+// the coordinator), so results are bit-identical across modes.
+func newStreamPoolExec(ctx context.Context, workers int, exec netsim.Executor) *streamPool {
 	p := &streamPool{ctx: ctx}
 	if workers <= 1 {
 		p.seq = true
+		return p
+	}
+	if exec != nil {
+		p.exec = exec
+		p.sem = make(chan struct{}, workers)
 		return p
 	}
 	p.tasks = make(chan func(), workers)
@@ -173,9 +206,18 @@ func (p *streamPool) submit(fn func()) <-chan struct{} {
 			fn()
 		}
 	}
-	if p.seq {
+	switch {
+	case p.seq:
 		wrapped()
-	} else {
+	case p.exec != nil:
+		p.sem <- struct{}{} // backpressure: blocks at workers in flight
+		p.wg.Add(1)
+		p.exec.Go(func() {
+			defer p.wg.Done()
+			defer func() { <-p.sem }()
+			wrapped()
+		})
+	default:
 		p.tasks <- wrapped
 	}
 	return done
@@ -186,7 +228,11 @@ func (p *streamPool) submit(fn func()) <-chan struct{} {
 func (p *streamPool) wait() error {
 	if !p.waited {
 		p.waited = true
-		if !p.seq {
+		switch {
+		case p.seq:
+		case p.exec != nil:
+			p.wg.Wait()
+		default:
 			close(p.tasks)
 			p.wg.Wait()
 		}

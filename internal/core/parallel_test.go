@@ -2,10 +2,7 @@ package core
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"math"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -102,21 +99,11 @@ func TestRunTasksCanceled(t *testing.T) {
 // leak into the digest.
 func reportDigest(t *testing.T, rep *Report) string {
 	t.Helper()
-	j, err := rep.JSON()
+	d, err := ReportDigest(rep)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := sha256.New()
-	h.Write(j)
-	if rep.Fig2.TM != nil {
-		rep.Fig2.TM.ForEach(func(src, dst int, bytes float64) {
-			fmt.Fprintf(h, "%d %d %x\n", src, dst, math.Float64bits(bytes))
-		})
-	}
-	cp := *rep
-	cp.Fig2.TM = nil
-	fmt.Fprintf(h, "%+v", cp)
-	return hex.EncodeToString(h.Sum(nil))
+	return d
 }
 
 // TestAnalyzeParallelDigestIdentity is the acceptance gate of the
@@ -182,6 +169,35 @@ func TestAnalyzeContextCanceled(t *testing.T) {
 
 // The pipeline's observability: per-stage phases and counters land in
 // the caller's registry, and attaching one does not change results.
+// TestAnalyzeDefaultWorkersClamp pins the analysis side of the
+// default-workers heuristic: at GOMAXPROCS=1 the default parallelism
+// resolves to one worker (no pool goroutines, no channel handoffs) and
+// the report stays bit-identical to the explicit sequential path.
+func TestAnalyzeDefaultWorkersClamp(t *testing.T) {
+	rr, _ := smallRun(t)
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	if got := defaultParallelism(); got != 1 {
+		t.Fatalf("defaultParallelism at GOMAXPROCS=1 = %d, want 1", got)
+	}
+	reg := obs.NewRegistry()
+	rep, err := AnalyzeRun(context.Background(), rr, WithAnalysisObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Snapshot().Value("analyze.workers"); v != 1 {
+		t.Fatalf("analyze.workers = %v, want 1 (single-proc clamp)", v)
+	}
+	seqRep, err := AnalyzeRun(context.Background(), rr, WithSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportDigest(t, rep), reportDigest(t, seqRep); got != want {
+		t.Fatal("default at GOMAXPROCS=1 diverged from sequential")
+	}
+}
+
 func TestAnalyzeObserverPhases(t *testing.T) {
 	rr, rep := smallRun(t)
 	reg := obs.NewRegistry()

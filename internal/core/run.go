@@ -159,6 +159,8 @@ type runOptions struct {
 	sink          io.Writer
 	reg           *obs.Registry
 	regSet        bool
+	simExec       netsim.Executor
+	top           *topology.Topology
 }
 
 // RunOption configures Run.
@@ -194,6 +196,27 @@ func WithMetricsSink(w io.Writer) RunOption {
 // results are bit-identical either way.
 func WithObserver(reg *obs.Registry) RunOption {
 	return func(o *runOptions) { o.reg = reg; o.regSet = true }
+}
+
+// WithSimExecutor runs the simulator's parallel-engine phase spans on a
+// caller-provided shared executor instead of goroutines the run owns —
+// the seam the fleet batch executor uses to schedule many concurrent
+// runs over one core budget. The per-run worker bound (RunConfig
+// .Workers) still decides span granularity, and results are
+// bit-identical with or without an executor (netsim.Options.Exec).
+func WithSimExecutor(ex netsim.Executor) RunOption {
+	return func(o *runOptions) { o.simExec = ex }
+}
+
+// WithPrebuiltTopology reuses an already-built topology instead of
+// rebuilding it from RunConfig.Topology — the fleet executor's shared
+// artifact cache hands identical configs the same immutable Topology so
+// path precompute is paid once per distinct config, not once per run.
+// The topology must have been built from a Config equal to the run's;
+// prepareRun rejects a mismatch. Topology is immutable after New, so
+// sharing one across concurrent runs is safe and cannot affect results.
+func WithPrebuiltTopology(top *topology.Topology) RunOption {
+	return func(o *runOptions) { o.top = top }
 }
 
 // Simulate builds the cluster, runs the workload for the configured
@@ -255,9 +278,17 @@ func prepareRun(cfg RunConfig, opts ...RunOption) (*preparedRun, error) {
 		cfg.UtilBinSize = time.Second
 	}
 	stopBuild := reg.StartPhase("build")
-	top, err := topology.New(cfg.Topology)
-	if err != nil {
-		return nil, fmt.Errorf("core: topology: %w", err)
+	top := o.top
+	if top != nil && top.Config() != cfg.Topology {
+		return nil, fmt.Errorf("core: prebuilt topology config %+v does not match run config %+v",
+			top.Config(), cfg.Topology)
+	}
+	if top == nil {
+		var err error
+		top, err = topology.New(cfg.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("core: topology: %w", err)
+		}
 	}
 	net := netsim.New(top, netsim.Options{
 		StatsBinSize:         cfg.UtilBinSize,
@@ -265,6 +296,7 @@ func prepareRun(cfg RunConfig, opts ...RunOption) (*preparedRun, error) {
 		FullRecompute:        cfg.FullRecompute,
 		Workers:              cfg.Workers,
 		Sequential:           cfg.Sequential,
+		Exec:                 o.simExec,
 	})
 	collector := trace.NewCollector(top, cfg.Trace)
 	net.AddObserver(collector)

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"runtime/debug"
+	"sync"
+
+	"dctraffic/internal/core"
+	"dctraffic/internal/topology"
+)
+
+// memGate is the admission controller: it caps the sum of in-flight
+// runs' estimated peak heaps at a budget. Runs are admitted in config
+// order (the launcher acquires index by index), so the gate changes
+// only when runs start, never which runs produce what. A run whose
+// estimate exceeds the whole budget is still admitted — alone — so an
+// over-budget config degrades to sequential execution instead of
+// deadlocking.
+type memGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	budget int // MB; <= 0 disables the gate
+	used   int
+	waits  int
+}
+
+func newMemGate(budgetMB int) *memGate {
+	g := &memGate{budget: budgetMB}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire blocks until mb fits in the remaining budget (or the gate is
+// idle), then reserves it. Reports whether it had to wait.
+func (g *memGate) acquire(mb int) (waited bool) {
+	if g.budget <= 0 {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.used > 0 && g.used+mb > g.budget {
+		if !waited {
+			waited = true
+			g.waits++
+		}
+		g.cond.Wait()
+	}
+	g.used += mb
+	return waited
+}
+
+// release returns a reservation and wakes blocked acquirers.
+func (g *memGate) release(mb int) {
+	if g.budget <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.used -= mb
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// waitCount reports how many acquisitions had to block.
+func (g *memGate) waitCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waits
+}
+
+// DefaultBudgetMB derives a fleet memory budget from the process's
+// GOMEMLIMIT: 80% of the limit when one is set (headroom for GC slack
+// and non-run allocations), 0 — no gate — when unlimited. Reading the
+// limit does not change it.
+func DefaultBudgetMB() int {
+	limit := debug.SetMemoryLimit(-1)
+	if limit <= 0 || limit == int64(^uint64(0)>>1) { // unset: MaxInt64
+		return 0
+	}
+	mb := limit * 8 / 10 >> 20
+	if mb < 1 {
+		mb = 1
+	}
+	return int(mb)
+}
+
+// EstimatePeakMB is the admission controller's coarse, deterministic
+// peak-live-heap model for one fused RunAnalyze pipeline. It is a
+// heuristic, not a measurement: the fused pipeline retains every trace
+// record (the collector keeps them for Figure 8 and attribution) plus
+// O(hosts²) matrices and a fixed base of simulator/solver/analysis
+// state. Constants are calibrated against observed runs (a paper-scale
+// day produces ~2M records; the two-phase peak measured 1.24 GB).
+// Depending only on the config, the same sweep always yields the same
+// admission schedule.
+func EstimatePeakMB(cfg core.RunConfig) int {
+	const (
+		baseMB     = 48  // runtime, simulator, solver, analysis scratch
+		recBytes   = 112 // retained FlowRecord + slice/index slack
+		recsPerJob = 100 // scatter-gather shuffle flows per job, order-of-magnitude
+	)
+	hosts := cfg.Topology.Racks*cfg.Topology.ServersPerRack + cfg.Topology.ExternalHosts
+	jobsPerHour := cfg.Sched.JobsPerHour
+	if jobsPerHour <= 0 {
+		jobsPerHour = 150 // sched.DefaultConfig's arrival rate
+	}
+	hours := (cfg.Duration + cfg.DrainTime).Hours()
+	records := jobsPerHour * hours * recsPerJob
+	bytes := records*recBytes + float64(hosts)*float64(hosts)*3*16
+	return baseMB + int(bytes/(1<<20))
+}
+
+// topoCache shares immutable Topology values between runs with equal
+// topology configs (topology.Config is comparable), so the link tables
+// and the precomputed routing artifacts are built once per distinct
+// config per sweep.
+type topoCache struct {
+	mu     sync.Mutex
+	built  map[topology.Config]*topology.Topology
+	hits   int
+	misses int
+}
+
+func newTopoCache() *topoCache {
+	return &topoCache{built: make(map[topology.Config]*topology.Topology)}
+}
+
+// get returns the shared topology for cfg, building it on first use.
+func (c *topoCache) get(cfg topology.Config) (*topology.Topology, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.built[cfg]; ok {
+		c.hits++
+		return t, nil
+	}
+	t, err := topology.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	c.built[cfg] = t
+	return t, nil
+}
+
+// stats reports cache hits and misses so far.
+func (c *topoCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

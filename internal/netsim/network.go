@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"math"
-	"runtime"
 	"slices"
 	"time"
 
@@ -42,9 +41,17 @@ type Options struct {
 	FullRecompute bool
 
 	// Workers bounds the goroutines the per-rack event-domain engine
-	// may use during Run (0 = GOMAXPROCS, capped at the domain count).
-	// Results are bit-identical at any worker count.
+	// may use during Run (0 = DefaultWorkers(), capped at the domain
+	// count). Results are bit-identical at any worker count.
 	Workers int
+
+	// Exec, when non-nil, runs the engine's phase spans on a
+	// caller-provided executor instead of goroutines the engine owns —
+	// the seam the fleet batch executor uses to share one bounded pool
+	// across concurrent Networks. Span closures never block on the
+	// executor, so a bounded pool cannot deadlock on them. Results are
+	// bit-identical with or without an executor.
+	Exec Executor
 
 	// Sequential forces every allocation-step phase to run inline on
 	// the event-loop goroutine — the A/B reference path for the
@@ -184,7 +191,7 @@ func New(top *topology.Topology, opts Options) *Network {
 	n.buildDomains(top)
 	n.workersN = opts.Workers
 	if n.workersN <= 0 {
-		n.workersN = runtime.GOMAXPROCS(0)
+		n.workersN = DefaultWorkers()
 	}
 	if n.workersN > len(n.doms) {
 		n.workersN = len(n.doms)

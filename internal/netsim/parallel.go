@@ -1,8 +1,23 @@
 package netsim
 
 import (
+	"runtime"
 	"sync"
 )
+
+// DefaultWorkers resolves a zero Options.Workers: GOMAXPROCS, clamped
+// to 1 on a single-proc box so the engine never arms — and the phase
+// barriers are never paid — when there is no parallelism to buy with
+// them (BENCH_netsim.json showed the barrier path costing ~7% on a
+// 1-CPU host before the clamp was made explicit). An explicit
+// Options.Workers is always honored unchanged, including Workers > 1
+// on one proc (the A/B validation path).
+func DefaultWorkers() int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return p
+	}
+	return 1
+}
 
 // parPhase identifies which per-domain (or per-component) phase the pool
 // should run. Phases never overlap: the coordinator dispatches one,
@@ -25,32 +40,68 @@ const (
 	parMinSolveWork = 96  // unfrozen flows across ≥2 components for the solve phase
 )
 
+// Executor runs functions on a caller-provided worker pool. A batch
+// executor (internal/fleet) injects one shared Executor into many
+// concurrent Networks via Options.Exec so their phase spans compete for
+// a single core budget instead of each Network spawning its own
+// goroutines. Go must run fn exactly once, asynchronously, and must
+// never drop it. The closures the engine submits never block on the
+// Executor themselves, so a bounded pool cannot deadlock on them.
+type Executor interface {
+	Go(fn func())
+}
+
 // parEngine fans a step's phases across a fixed pool of workers. Each
 // worker owns a static contiguous range of domains (and of components in
 // the solve phase), so a dispatch is one channel send per worker plus a
 // WaitGroup barrier — no per-domain handoffs. Workers start lazily at
 // the first dispatch and live until the enclosing Network.Run returns.
+//
+// With an external Executor the engine owns no goroutines: a dispatch
+// submits one span closure per worker slot and waits on the same
+// barrier. Both modes run identical spans and merge on the coordinator
+// in the same order, so results are bit-identical either way.
 type parEngine struct {
 	n       *Network
-	cmd     []chan parPhase
+	workers int
+	exec    Executor        // nil → dedicated channel workers below
+	cmd     []chan parPhase // channel mode only
 	wg      sync.WaitGroup
 	started bool
 
 	// Phase arguments: written by the coordinator before the dispatch,
-	// read by workers after the channel receive (which orders the
-	// writes), and never touched while the pool is running.
+	// read by workers after the channel receive or Executor.Go call
+	// (either of which orders the writes), and never touched while the
+	// pool is running.
 	now   Time
 	dt    float64
 	comps []component
 }
 
-func newParEngine(n *Network, workers int) *parEngine {
-	return &parEngine{n: n, cmd: make([]chan parPhase, workers)}
+func newParEngine(n *Network, workers int, exec Executor) *parEngine {
+	e := &parEngine{n: n, workers: workers, exec: exec}
+	if exec == nil {
+		e.cmd = make([]chan parPhase, workers)
+	}
+	return e
 }
 
 // dispatch runs one phase across the pool and blocks until every worker
 // has finished it.
 func (e *parEngine) dispatch(p parPhase) {
+	e.n.barrierWaits++
+	if e.exec != nil {
+		e.wg.Add(e.workers)
+		for w := 0; w < e.workers; w++ {
+			w := w
+			e.exec.Go(func() {
+				e.runPhase(p, w)
+				e.wg.Done()
+			})
+		}
+		e.wg.Wait()
+		return
+	}
 	if !e.started {
 		e.started = true
 		for w := range e.cmd {
@@ -59,7 +110,6 @@ func (e *parEngine) dispatch(p parPhase) {
 			go e.worker(w, c)
 		}
 	}
-	e.n.barrierWaits++
 	e.wg.Add(len(e.cmd))
 	for _, c := range e.cmd {
 		c <- p
@@ -67,7 +117,8 @@ func (e *parEngine) dispatch(p parPhase) {
 	e.wg.Wait()
 }
 
-// stop terminates the worker goroutines (if any started).
+// stop terminates the worker goroutines (if any started). A no-op in
+// executor mode, which owns no goroutines.
 func (e *parEngine) stop() {
 	if !e.started {
 		return
@@ -81,30 +132,37 @@ func (e *parEngine) stop() {
 // span is worker w's static share of m items: the half-open index range
 // [lo, hi). Contiguous ranges keep each worker on adjacent domains.
 func (e *parEngine) span(m, w int) (lo, hi int) {
-	k := len(e.cmd)
+	k := e.workers
 	return m * w / k, m * (w + 1) / k
+}
+
+// runPhase executes worker w's span of phase p. The spans partition the
+// domain (or component) slice, so concurrent calls with distinct w touch
+// disjoint state.
+func (e *parEngine) runPhase(p parPhase, w int) {
+	n := e.n
+	switch p {
+	case phaseAdvance:
+		lo, hi := e.span(len(n.doms), w)
+		for i := lo; i < hi; i++ {
+			n.advanceDomain(&n.doms[i], e.now, e.dt)
+		}
+	case phaseMin:
+		lo, hi := e.span(len(n.doms), w)
+		for i := lo; i < hi; i++ {
+			n.minDomain(&n.doms[i])
+		}
+	case phaseSolve:
+		lo, hi := e.span(len(e.comps), w)
+		for i := lo; i < hi; i++ {
+			n.solveComp(&e.comps[i])
+		}
+	}
 }
 
 func (e *parEngine) worker(w int, c chan parPhase) {
 	for p := range c {
-		n := e.n
-		switch p {
-		case phaseAdvance:
-			lo, hi := e.span(len(n.doms), w)
-			for i := lo; i < hi; i++ {
-				n.advanceDomain(&n.doms[i], e.now, e.dt)
-			}
-		case phaseMin:
-			lo, hi := e.span(len(n.doms), w)
-			for i := lo; i < hi; i++ {
-				n.minDomain(&n.doms[i])
-			}
-		case phaseSolve:
-			lo, hi := e.span(len(e.comps), w)
-			for i := lo; i < hi; i++ {
-				n.solveComp(&e.comps[i])
-			}
-		}
+		e.runPhase(p, w)
 		e.wg.Done()
 	}
 }
@@ -117,7 +175,7 @@ func (n *Network) startEngine() {
 	if n.eng != nil || n.opts.Sequential || n.workersN <= 1 || len(n.doms) < 2 {
 		return
 	}
-	n.eng = newParEngine(n, n.workersN)
+	n.eng = newParEngine(n, n.workersN, n.opts.Exec)
 }
 
 // stopEngine tears the pool down at the end of a Run.

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dctraffic/internal/obs"
 	"dctraffic/internal/stats"
 	"dctraffic/internal/topology"
 )
@@ -133,6 +134,122 @@ func TestParallelMatchesSequential(t *testing.T) {
 					seed, sc.batched, sc.rackLocal, sc.evacuate, w, got, want, gotN, wantN)
 			}
 		}
+	}
+}
+
+// chanExec is a minimal external executor: a fixed worker set draining
+// one FIFO, the same shape internal/fleet injects via Options.Exec.
+type chanExec struct{ tasks chan func() }
+
+func newChanExec(workers int) *chanExec {
+	e := &chanExec{tasks: make(chan func(), 1024)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for fn := range e.tasks {
+				fn()
+			}
+		}()
+	}
+	return e
+}
+
+func (e *chanExec) Go(fn func()) { e.tasks <- fn }
+
+func (e *chanExec) close() { close(e.tasks) }
+
+// TestExecutorMatchesSequential extends the determinism property to the
+// external-executor mode: phase spans scheduled on a shared pool must
+// produce traces bit-identical to the sequential path, at several
+// worker counts including workers exceeding the executor's own.
+func TestExecutorMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		sc := synthConfig{
+			seed:      seed,
+			batched:   seed%2 == 0,
+			rackLocal: seed%3 != 0,
+			evacuate:  seed%4 == 0,
+		}
+		want, wantN := runSynthetic(t, sc, Options{Sequential: true})
+		for _, w := range []int{2, 3, runtime.NumCPU() + 1} {
+			ex := newChanExec(2)
+			got, gotN := runSynthetic(t, sc, Options{Workers: w, Exec: ex})
+			ex.close()
+			if got != want {
+				t.Fatalf("seed %d: exec mode workers=%d digest %s != sequential %s (%d vs %d flows)",
+					seed, w, got, want, gotN, wantN)
+			}
+		}
+	}
+}
+
+// TestExecutorEngineEngages mirrors TestParallelEngineEngages for the
+// executor mode: the same above-threshold workload must cross phase
+// barriers when spans run on an external pool.
+func TestExecutorEngineEngages(t *testing.T) {
+	ex := newChanExec(2)
+	defer ex.close()
+	top := topology.MustNew(topology.SmallConfig())
+	n := New(top, Options{Workers: 2, Exec: ex})
+	r := stats.NewRNG(7)
+	for i := 0; i < 600; i++ {
+		src := topology.ServerID(r.IntN(top.NumHosts()))
+		dst := topology.ServerID(r.IntN(top.NumHosts()))
+		n.After(Time(r.IntN(50))*time.Millisecond, func() {
+			n.StartFlow(src, dst, int64(1+r.IntN(8_000_000)), FlowTag{}, nil)
+		})
+	}
+	n.RunAll()
+	if n.BarrierWaits() == 0 {
+		t.Fatal("executor-mode engine never dispatched a phase")
+	}
+}
+
+// TestDefaultWorkersSingleProcClamp pins the default-workers heuristic:
+// on a single-proc box the default resolves to exactly one worker, the
+// engine never arms, and no phase barrier is ever paid — while an
+// explicit Options.Workers is honored unchanged.
+func TestDefaultWorkersSingleProcClamp(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	if got := DefaultWorkers(); got != 1 {
+		t.Fatalf("DefaultWorkers at GOMAXPROCS=1 = %d, want 1", got)
+	}
+	top := topology.MustNew(topology.SmallConfig())
+	n := New(top, Options{})
+	if n.workersN != 1 {
+		t.Fatalf("default workersN at GOMAXPROCS=1 = %d, want 1", n.workersN)
+	}
+	if n2 := New(top, Options{Workers: 3}); n2.workersN != 3 {
+		t.Fatalf("explicit Workers=3 resolved to %d, want 3 (must be honored)", n2.workersN)
+	}
+
+	// The exported gauge agrees with the resolution.
+	reg := obs.NewRegistry()
+	n.Instrument(reg)
+	if v := reg.Snapshot().Value("netsim.parallel.workers"); v != 1 {
+		t.Fatalf("netsim.parallel.workers = %v, want 1", v)
+	}
+
+	// Digest identity and zero barriers: the default path at one proc
+	// is the sequential path.
+	sc := synthConfig{seed: 5, rackLocal: true}
+	want, _ := runSynthetic(t, sc, Options{Sequential: true})
+	got, _ := runSynthetic(t, sc, Options{})
+	if got != want {
+		t.Fatalf("default at GOMAXPROCS=1 digest %s != sequential %s", got, want)
+	}
+	r := stats.NewRNG(7)
+	for i := 0; i < 600; i++ {
+		src := topology.ServerID(r.IntN(top.NumHosts()))
+		dst := topology.ServerID(r.IntN(top.NumHosts()))
+		n.After(Time(r.IntN(50))*time.Millisecond, func() {
+			n.StartFlow(src, dst, int64(1+r.IntN(8_000_000)), FlowTag{}, nil)
+		})
+	}
+	n.RunAll()
+	if n.BarrierWaits() != 0 {
+		t.Fatalf("default single-proc run crossed %d barriers, want 0", n.BarrierWaits())
 	}
 }
 

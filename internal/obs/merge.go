@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SnapshotPart is one input to MergeSnapshots: a snapshot whose series
+// (and phase) names are prepended with Prefix in the merged output.
+// Multiple parts may share a prefix (a run exports separate simulation
+// and analysis registries) as long as the prefixed names stay unique.
+type SnapshotPart struct {
+	Prefix string
+	Snap   *Snapshot
+}
+
+// MergeSnapshots combines per-run snapshots into one deterministic,
+// name-sorted snapshot — the fleet executor's merged metrics file, one
+// `runN.`-prefixed section per run plus unprefixed fleet series, all
+// consumable by cmd/dcmetrics. Nil snapshots are skipped (a run that
+// failed before its snapshot still merges cleanly); a full-name
+// collision is an error, so a typo'd prefix cannot silently drop
+// series. Phases keep per-part completion order, parts in argument
+// order.
+func MergeSnapshots(parts ...SnapshotPart) (*Snapshot, error) {
+	out := &Snapshot{}
+	seen := make(map[string]struct{})
+	for _, p := range parts {
+		if p.Snap == nil {
+			continue
+		}
+		for _, se := range p.Snap.Series {
+			se.Name = p.Prefix + se.Name
+			if _, dup := seen[se.Name]; dup {
+				return nil, fmt.Errorf("obs: merge: duplicate series %q", se.Name)
+			}
+			seen[se.Name] = struct{}{}
+			out.Series = append(out.Series, se)
+		}
+		for _, ph := range p.Snap.Phases {
+			ph.Name = p.Prefix + ph.Name
+			out.Phases = append(out.Phases, ph)
+		}
+	}
+	sort.Slice(out.Series, func(i, j int) bool {
+		return out.Series[i].Name < out.Series[j].Name
+	})
+	return out, nil
+}
+
+// AggregateSnapshots folds same-named series across snapshots into one
+// cross-run rollup: counters sum, gauges take the max (peaks stay
+// peaks), histograms sum element-wise when their bucket bounds match
+// (cumulative counts stay cumulative) and degrade to Count+Sum-only
+// when they don't. Nil snapshots are skipped; series missing from some
+// snapshots aggregate over the ones that have them. The result is
+// name-sorted and carries no phases (wall-clock timings don't add
+// across concurrent runs). The fleet merged snapshot includes this
+// rollup unprefixed, so prefix checks like `dcmetrics -require netsim.`
+// keep working against a fleet file.
+func AggregateSnapshots(snaps ...*Snapshot) *Snapshot {
+	type agg struct{ s Series }
+	byName := make(map[string]*agg)
+	var order []string
+	for _, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		for _, se := range sn.Series {
+			a, ok := byName[se.Name]
+			if !ok {
+				cp := se
+				cp.Buckets = append([]Bucket(nil), se.Buckets...)
+				byName[se.Name] = &agg{s: cp}
+				order = append(order, se.Name)
+				continue
+			}
+			switch a.s.Kind {
+			case "counter":
+				a.s.Value += se.Value
+			case "gauge":
+				if se.Value > a.s.Value {
+					a.s.Value = se.Value
+				}
+			case "histogram":
+				a.s.Count += se.Count
+				a.s.Sum += se.Sum
+				if bucketsAlign(a.s.Buckets, se.Buckets) {
+					for i := range a.s.Buckets {
+						a.s.Buckets[i].Count += se.Buckets[i].Count
+					}
+				} else {
+					a.s.Buckets = nil
+				}
+			default:
+				a.s.Value += se.Value
+			}
+		}
+	}
+	out := &Snapshot{Series: make([]Series, 0, len(order))}
+	sort.Strings(order)
+	for _, name := range order {
+		out.Series = append(out.Series, byName[name].s)
+	}
+	return out
+}
+
+// bucketsAlign reports whether two cumulative bucket sets share the
+// same bounds, making element-wise summation meaningful.
+func bucketsAlign(a, b []Bucket) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].LE != b[i].LE {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+)
+
+func snapOf(series ...Series) *Snapshot { return &Snapshot{Series: series} }
+
+func TestMergeSnapshotsPrefixesAndSorts(t *testing.T) {
+	a := snapOf(Series{Name: "netsim.events_total", Kind: "counter", Value: 10})
+	a.Phases = []PhaseTiming{{Name: "build", Seconds: 0.5}}
+	b := snapOf(Series{Name: "analyze.tasks_total", Kind: "counter", Value: 3})
+	fleet := snapOf(Series{Name: "fleet.runs_total", Kind: "counter", Value: 2})
+
+	m, err := MergeSnapshots(
+		SnapshotPart{Prefix: "", Snap: fleet},
+		SnapshotPart{Prefix: "run1.", Snap: b},
+		SnapshotPart{Prefix: "run0.", Snap: a},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fleet.runs_total", "run0.netsim.events_total", "run1.analyze.tasks_total"}
+	if len(m.Series) != len(want) {
+		t.Fatalf("got %d series, want %d", len(m.Series), len(want))
+	}
+	for i, n := range want {
+		if m.Series[i].Name != n {
+			t.Fatalf("series[%d] = %q, want %q", i, m.Series[i].Name, n)
+		}
+	}
+	if !sort.SliceIsSorted(m.Series, func(i, j int) bool { return m.Series[i].Name < m.Series[j].Name }) {
+		t.Fatal("merged series not name-sorted")
+	}
+	if len(m.Phases) != 1 || m.Phases[0].Name != "run0.build" {
+		t.Fatalf("phases = %+v, want one run0.build", m.Phases)
+	}
+	if err := m.Require("fleet.", "run0.netsim.", "run1.analyze."); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSnapshotsSkipsNil(t *testing.T) {
+	a := snapOf(Series{Name: "x", Kind: "gauge", Value: 1})
+	m, err := MergeSnapshots(
+		SnapshotPart{Prefix: "run0.", Snap: nil},
+		SnapshotPart{Prefix: "run1.", Snap: a},
+		SnapshotPart{Prefix: "", Snap: nil},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Series) != 1 || m.Series[0].Name != "run1.x" {
+		t.Fatalf("got %+v, want only run1.x", m.Series)
+	}
+}
+
+func TestMergeSnapshotsCollision(t *testing.T) {
+	a := snapOf(Series{Name: "netsim.events_total", Kind: "counter", Value: 1})
+	b := snapOf(Series{Name: "netsim.events_total", Kind: "counter", Value: 2})
+
+	if _, err := MergeSnapshots(
+		SnapshotPart{Prefix: "run0.", Snap: a},
+		SnapshotPart{Prefix: "run0.", Snap: b},
+	); err == nil {
+		t.Fatal("same prefix + same name: want collision error, got nil")
+	}
+	// Distinct prefixes over the same names are the normal per-run case.
+	if _, err := MergeSnapshots(
+		SnapshotPart{Prefix: "run0.", Snap: a},
+		SnapshotPart{Prefix: "run1.", Snap: b},
+	); err != nil {
+		t.Fatalf("distinct prefixes: unexpected error %v", err)
+	}
+	// A prefix that happens to extend another's name must also collide.
+	c := snapOf(Series{Name: "x.y", Kind: "counter", Value: 1})
+	d := snapOf(Series{Name: "y", Kind: "counter", Value: 2})
+	if _, err := MergeSnapshots(
+		SnapshotPart{Prefix: "", Snap: c},
+		SnapshotPart{Prefix: "x.", Snap: d},
+	); err == nil {
+		t.Fatal("prefixed name colliding with literal name: want error, got nil")
+	}
+}
+
+func TestAggregateSnapshots(t *testing.T) {
+	h1 := Series{Name: "h", Kind: "histogram", Count: 2, Sum: 3,
+		Buckets: []Bucket{{LE: 1, Count: 1}, {LE: 2, Count: 2}}}
+	h2 := Series{Name: "h", Kind: "histogram", Count: 1, Sum: 2,
+		Buckets: []Bucket{{LE: 1, Count: 0}, {LE: 2, Count: 1}}}
+	a := snapOf(
+		Series{Name: "c", Kind: "counter", Value: 5},
+		Series{Name: "g", Kind: "gauge", Value: 7},
+		h1,
+	)
+	b := snapOf(
+		Series{Name: "c", Kind: "counter", Value: 2},
+		Series{Name: "g", Kind: "gauge", Value: 3},
+		h2,
+		Series{Name: "only_b", Kind: "counter", Value: 1},
+	)
+
+	got := AggregateSnapshots(a, nil, b)
+	if v := got.Value("c"); v != 7 {
+		t.Fatalf("counter c = %v, want 7 (sum)", v)
+	}
+	if v := got.Value("g"); v != 7 {
+		t.Fatalf("gauge g = %v, want 7 (max)", v)
+	}
+	if v := got.Value("only_b"); v != 1 {
+		t.Fatalf("only_b = %v, want 1", v)
+	}
+	h, ok := got.Get("h")
+	if !ok || h.Count != 3 || h.Sum != 5 {
+		t.Fatalf("histogram h = %+v, want Count 3 Sum 5", h)
+	}
+	if len(h.Buckets) != 2 || h.Buckets[0].Count != 1 || h.Buckets[1].Count != 3 {
+		t.Fatalf("histogram buckets = %+v, want cumulative [1 3]", h.Buckets)
+	}
+	if !sort.SliceIsSorted(got.Series, func(i, j int) bool { return got.Series[i].Name < got.Series[j].Name }) {
+		t.Fatal("aggregate not name-sorted")
+	}
+}
+
+func TestAggregateSnapshotsMismatchedBuckets(t *testing.T) {
+	a := snapOf(Series{Name: "h", Kind: "histogram", Count: 1, Sum: 1,
+		Buckets: []Bucket{{LE: 1, Count: 1}}})
+	b := snapOf(Series{Name: "h", Kind: "histogram", Count: 1, Sum: 2,
+		Buckets: []Bucket{{LE: 4, Count: 1}}})
+	h, ok := AggregateSnapshots(a, b).Get("h")
+	if !ok {
+		t.Fatal("h missing")
+	}
+	if h.Count != 2 || h.Sum != 3 {
+		t.Fatalf("h = %+v, want Count 2 Sum 3", h)
+	}
+	if h.Buckets != nil {
+		t.Fatalf("mismatched bounds must drop buckets, got %+v", h.Buckets)
+	}
+}

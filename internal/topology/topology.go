@@ -146,6 +146,14 @@ type Topology struct {
 	aggDown    []LinkID
 	extUp      []LinkID // per external host
 	extDown    []LinkID
+
+	// Routing artifacts precomputed once in New and shared read-only by
+	// every consumer — the fleet executor's topology cache hands one
+	// Topology to many concurrent runs, so path precompute is paid per
+	// distinct config, not per run: the rack-pair inter-switch path
+	// table behind TorPath and the link set behind InterSwitchLinks.
+	torPaths    [][]LinkID
+	interSwitch []LinkID
 }
 
 // New validates cfg and builds the fabric.
@@ -210,6 +218,17 @@ func New(cfg Config) (*Topology, error) {
 	for e := 0; e < cfg.ExternalHosts; e++ {
 		t.extUp[e] = t.addLink(ExtUp, cfg.ExtLinkBps, fmt.Sprintf("ext%d->core", e))
 		t.extDown[e] = t.addLink(ExtDown, cfg.ExtLinkBps, fmt.Sprintf("core->ext%d", e))
+	}
+	for _, l := range t.links {
+		if l.Kind.InterSwitch() {
+			t.interSwitch = append(t.interSwitch, l.ID)
+		}
+	}
+	t.torPaths = make([][]LinkID, cfg.Racks*cfg.Racks)
+	for i := 0; i < cfg.Racks; i++ {
+		for j := 0; j < cfg.Racks; j++ {
+			t.torPaths[i*cfg.Racks+j] = t.computeTorPath(RackID(i), RackID(j))
+		}
 	}
 	return t, nil
 }
@@ -412,8 +431,13 @@ func (t *Topology) appendDownPath(buf []LinkID, s ServerID, key uint64) []LinkID
 // ToR to rack j's ToR. It is the routing used to build the tomography
 // constraint matrix (ToR-level origin-destination flows → link counters).
 // On a multipath fabric the pair-hash agg is used (per-pair routing — the
-// approximation a counter-based method must make anyway).
+// approximation a counter-based method must make anyway). The returned
+// slice comes from a table precomputed in New and must not be modified.
 func (t *Topology) TorPath(i, j RackID) []LinkID {
+	return t.torPaths[int(i)*t.cfg.Racks+int(j)]
+}
+
+func (t *Topology) computeTorPath(i, j RackID) []LinkID {
 	if i == j {
 		return nil
 	}
@@ -477,15 +501,10 @@ func (t *Topology) TorDownlinks(r RackID) []LinkID {
 }
 
 // InterSwitchLinks returns the ids of all switch-to-switch links, the set
-// over which the paper reports congestion (§4.2).
+// over which the paper reports congestion (§4.2). The set is precomputed
+// in New; the returned slice is a fresh copy the caller may append to.
 func (t *Topology) InterSwitchLinks() []LinkID {
-	var out []LinkID
-	for _, l := range t.links {
-		if l.Kind.InterSwitch() {
-			out = append(out, l.ID)
-		}
-	}
-	return out
+	return append([]LinkID(nil), t.interSwitch...)
 }
 
 // BisectionBps reports the full-duplex bisection bandwidth of the fabric:
